@@ -1,0 +1,88 @@
+(* Regenerate every figure of the paper into out/: SVG + CSV per
+   figure, plus an ASCII preview on stdout. *)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let axis_of_figure (fig : Zeroconf.Experiments.figure) =
+  let xs =
+    Array.concat
+      (List.map
+         (fun (s : Zeroconf.Experiments.series) -> Array.map fst s.points)
+         fig.series)
+  in
+  let ys =
+    Array.concat
+      (List.map
+         (fun (s : Zeroconf.Experiments.series) -> Array.map snd s.points)
+         fig.series)
+  in
+  let x_axis = Output.Axis.of_data ~pad:0. xs in
+  let y_axis =
+    match (fig.y_min, fig.y_max) with
+    | Some lo, Some hi -> Output.Axis.create ~lo ~hi ()
+    | _ ->
+        let finite = Array.of_list (List.filter Float.is_finite (Array.to_list ys)) in
+        let data_axis = Output.Axis.of_data finite in
+        let lo = Option.value ~default:(Output.Axis.lo data_axis) fig.y_min in
+        let hi = Option.value ~default:(Output.Axis.hi data_axis) fig.y_max in
+        Output.Axis.create ~lo ~hi ()
+  in
+  (x_axis, y_axis)
+
+let render_figure ~out_dir (fig : Zeroconf.Experiments.figure) =
+  let x_axis, y_axis = axis_of_figure fig in
+  let chart =
+    { Output.Chart.title = fig.title;
+      x_label = fig.x_label;
+      y_label = fig.y_label;
+      x_axis;
+      y_axis;
+      series =
+        List.map
+          (fun (s : Zeroconf.Experiments.series) ->
+            Output.Chart.series ~label:s.label s.points)
+          fig.series }
+  in
+  let svg_path = Filename.concat out_dir (fig.id ^ ".svg") in
+  let csv_path = Filename.concat out_dir (fig.id ^ ".csv") in
+  Output.Chart.save chart svg_path;
+  Output.Csv.write_series ~path:csv_path ~x_label:fig.x_label
+    (List.map
+       (fun (s : Zeroconf.Experiments.series) -> (s.label, s.points))
+       fig.series);
+  print_string
+    (Output.Ascii_chart.plot ~x_axis ~y_axis ~title:fig.title
+       (List.map
+          (fun (s : Zeroconf.Experiments.series) -> (s.label, s.points))
+          fig.series));
+  Printf.printf "wrote %s and %s\n\n" svg_path csv_path
+
+(* bonus: the (n, r) cost landscape as a heatmap (log10 of Eq. 3) *)
+let render_landscape ~out_dir =
+  let scenario = Zeroconf.Params.figure2 in
+  let rs = Numerics.Grid.linspace 0.25 6. 24 in
+  let ns = Array.init 10 (fun i -> i + 1) in
+  let values =
+    Array.map
+      (fun n -> Array.map (fun r -> log10 (Zeroconf.Cost.mean scenario ~n ~r)) rs)
+      ns
+  in
+  let heatmap =
+    { Output.Heatmap.title = "log10 C(n, r) landscape (figure2 scenario)";
+      x_label = "r (s)";
+      y_label = "n";
+      x_ticks = Array.map (Printf.sprintf "%.2g") rs;
+      y_ticks = Array.map string_of_int ns;
+      values }
+  in
+  let path = Filename.concat out_dir "cost_landscape.svg" in
+  Output.Heatmap.save heatmap path;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  let out_dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "out" in
+  ensure_dir out_dir;
+  List.iter (render_figure ~out_dir) (Zeroconf.Experiments.all_figures ());
+  List.iter (render_figure ~out_dir) (Zeroconf.Experiments.extension_figures ());
+  render_landscape ~out_dir

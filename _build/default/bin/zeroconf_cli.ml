@@ -1,0 +1,567 @@
+(* Command-line interface to the zeroconf cost model: evaluate, optimize,
+   calibrate, and simulate.  `zeroconf_cli --help` lists the commands. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Scenario construction from flags                                    *)
+
+let scenario_term =
+  let preset =
+    let doc =
+      "Named scenario: figure2, wireless-worst-case, wired-worst-case, or \
+       realistic-ethernet.  Individual flags below override its fields."
+    in
+    Arg.(value & opt string "figure2" & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let loss =
+    Arg.(value & opt (some float) None
+         & info [ "loss" ] ~docv:"P" ~doc:"Permanent packet-loss probability 1-l.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"LAMBDA" ~doc:"Reply rate lambda (mean reply d + 1/lambda).")
+  in
+  let rtt =
+    Arg.(value & opt (some float) None
+         & info [ "rtt" ] ~docv:"D" ~doc:"Round-trip delay d in seconds.")
+  in
+  let hosts =
+    Arg.(value & opt (some int) None
+         & info [ "hosts" ] ~docv:"M" ~doc:"Number of occupied addresses (sets q = m/65024).")
+  in
+  let probe_cost =
+    Arg.(value & opt (some float) None
+         & info [ "probe-cost"; "c" ] ~docv:"C" ~doc:"Postage per ARP probe.")
+  in
+  let error_cost =
+    Arg.(value & opt (some float) None
+         & info [ "error-cost"; "E" ] ~docv:"E" ~doc:"Cost of an accepted address collision.")
+  in
+  let build preset loss rate rtt hosts probe_cost error_cost =
+    match List.assoc_opt preset Zeroconf.Params.presets with
+    | None ->
+        `Error
+          (false,
+           Printf.sprintf "unknown scenario %s (try %s)" preset
+             (String.concat ", " (List.map fst Zeroconf.Params.presets)))
+    | Some base ->
+        let p = base in
+        let p =
+          match hosts with
+          | Some m -> Zeroconf.Params.with_q p (Zeroconf.Params.q_of_hosts m)
+          | None -> p
+        in
+        let p = Zeroconf.Params.with_costs ?probe_cost ?error_cost p in
+        let p =
+          match (loss, rate, rtt) with
+          | None, None, None -> p
+          | _ ->
+              (* rebuild the shifted-exponential F_X around overrides,
+                 defaulting unspecified pieces to the figure2 values *)
+              let loss = Option.value ~default:(Zeroconf.Params.loss_probability p) loss in
+              let rate = Option.value ~default:10. rate in
+              let rtt = Option.value ~default:1. rtt in
+              Zeroconf.Params.with_delay p
+                (Dist.Families.shifted_exponential ~mass:(1. -. loss) ~rate
+                   ~delay:rtt ())
+        in
+        `Ok p
+  in
+  Term.(ret (const build $ preset $ loss $ rate $ rtt $ hosts $ probe_cost $ error_cost))
+
+let n_term =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of ARP probes.")
+
+let r_term =
+  Arg.(value & opt float 2. & info [ "r" ] ~docv:"R" ~doc:"Listening period in seconds.")
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+
+let cost_cmd =
+  let run p n r =
+    Format.printf "%a@." Zeroconf.Params.pp p;
+    let analytic = Zeroconf.Cost.mean p ~n ~r in
+    let drm = Zeroconf.Drm.build p ~n ~r in
+    Format.printf "C(%d, %g)      = %.6g   (Eq. 3)@." n r analytic;
+    Format.printf "matrix solve  = %.6g   (Sec. 4.1 DRM)@." (Zeroconf.Drm.mean_cost drm);
+    Format.printf "cost std dev  = %.6g@." (sqrt (Zeroconf.Drm.cost_variance drm));
+    Format.printf "E(%d, %g)      = %.6g   (Eq. 4)@." n r
+      (Zeroconf.Reliability.error_probability p ~n ~r);
+    Format.printf "log10 E       = %.3f@."
+      (Zeroconf.Reliability.log10_error_probability p ~n ~r);
+    Format.printf "expected steps in DRM = %.4g@." (Zeroconf.Drm.expected_steps drm)
+  in
+  Cmd.v (Cmd.info "cost" ~doc:"Evaluate mean cost and error probability at (n, r).")
+    Term.(const run $ scenario_term $ n_term $ r_term)
+
+let optimal_r_cmd =
+  let run p n =
+    let res = Zeroconf.Optimize.optimal_r p ~n in
+    Format.printf "r_opt(%d) = %.6g  with C = %.6g, error prob = %.3g@." n
+      res.Numerics.Minimize.x res.Numerics.Minimize.fx
+      (Zeroconf.Reliability.error_probability p ~n ~r:res.Numerics.Minimize.x)
+  in
+  Cmd.v (Cmd.info "optimal-r" ~doc:"Best listening period for a fixed probe count.")
+    Term.(const run $ scenario_term $ n_term)
+
+let optimal_n_cmd =
+  let run p r =
+    let n, cost = Zeroconf.Optimize.optimal_n p ~r in
+    Format.printf "N(%g) = %d  with C = %.6g, error prob = %.3g@." r n cost
+      (Zeroconf.Reliability.error_probability p ~n ~r)
+  in
+  Cmd.v (Cmd.info "optimal-n" ~doc:"Best probe count for a fixed listening period.")
+    Term.(const run $ scenario_term $ r_term)
+
+let assess_cmd =
+  let draft_n =
+    Arg.(value & opt int 4 & info [ "draft-n" ] ~doc:"Draft probe count to compare against.")
+  in
+  let draft_r =
+    Arg.(value & opt float 2. & info [ "draft-r" ] ~doc:"Draft listening period to compare against.")
+  in
+  let run p draft_n draft_r =
+    Format.printf "%a@." Zeroconf.Assessment.pp
+      (Zeroconf.Assessment.run ~draft_n ~draft_r p)
+  in
+  Cmd.v
+    (Cmd.info "assess"
+       ~doc:"Global optimum vs the Internet-draft parameters (Sec. 6).")
+    Term.(const run $ scenario_term $ draft_n $ draft_r)
+
+let nu_cmd =
+  let run p =
+    Format.printf "nu = %d  (minimal useful probe count, Sec. 4.4)@."
+      (Zeroconf.Optimize.min_useful_probes p)
+  in
+  Cmd.v (Cmd.info "nu" ~doc:"Minimal useful probe count.")
+    Term.(const run $ scenario_term)
+
+let calibrate_cmd =
+  let run p n r =
+    let res = Zeroconf.Calibrate.run p ~n ~r in
+    Format.printf
+      "calibrated for (n = %d, r = %g):@.  E = %.4g@.  c = %.4g@.  global \
+       optimum under these costs: n = %d, r = %.4g@.  |r_opt - r| = %.2g@."
+      n r res.Zeroconf.Calibrate.error_cost res.Zeroconf.Calibrate.probe_cost
+      res.Zeroconf.Calibrate.optimum.Zeroconf.Optimize.n
+      res.Zeroconf.Calibrate.optimum.Zeroconf.Optimize.r
+      res.Zeroconf.Calibrate.r_residual
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Solve the Sec. 4.5 inverse problem: costs making (n, r) optimal.")
+    Term.(const run $ scenario_term $ n_term $ r_term)
+
+let simulate_cmd =
+  let trials =
+    Arg.(value & opt int 10_000 & info [ "trials" ] ~doc:"Number of configuration runs.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let detailed =
+    Arg.(value & flag
+         & info [ "detailed" ]
+             ~doc:"Packet-level simulation instead of the aggregate F_X sampler.")
+  in
+  let hosts_small =
+    Arg.(value & opt int 100
+         & info [ "sim-hosts" ]
+             ~doc:"Configured hosts in the simulated network (detailed mode cost grows with this).")
+  in
+  let pool =
+    Arg.(value & opt int 1024
+         & info [ "pool" ] ~doc:"Address-pool size for the simulation.")
+  in
+  let run p n r trials seed detailed hosts pool =
+    let rng = Numerics.Rng.create seed in
+    let config =
+      Netsim.Newcomer.drm_config ~n ~r ~probe_cost:p.Zeroconf.Params.probe_cost
+        ~error_cost:p.Zeroconf.Params.error_cost
+    in
+    let outcomes =
+      if detailed then
+        Netsim.Scenario.run_detailed
+          ~loss:(Zeroconf.Params.loss_probability p)
+          ~one_way:(Dist.Families.exponential ~rate:20. ())
+          ~occupied:hosts ~pool_size:pool ~config ~trials ~rng ()
+      else
+        Netsim.Scenario.run_aggregate ~delay:p.Zeroconf.Params.delay
+          ~occupied:hosts ~pool_size:pool ~config ~trials ~rng ()
+    in
+    let agg = Netsim.Metrics.aggregate outcomes in
+    Format.printf "%a@." Netsim.Metrics.pp_aggregate agg;
+    (* reference values at the simulated occupancy *)
+    let q_sim = float_of_int hosts /. float_of_int pool in
+    let p_ref = Zeroconf.Params.with_q p q_sim in
+    Format.printf "model: C(%d, %g) = %.6g, E = %.4g (at q = %g)@." n r
+      (Zeroconf.Cost.mean p_ref ~n ~r)
+      (Zeroconf.Reliability.error_probability p_ref ~n ~r)
+      q_sim
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo the protocol and compare to the model.")
+    Term.(const run $ scenario_term $ n_term $ r_term $ trials $ seed $ detailed
+          $ hosts_small $ pool)
+
+let curve_cmd =
+  let points =
+    Arg.(value & opt int 60 & info [ "points" ] ~doc:"Grid resolution.")
+  in
+  let r_max = Arg.(value & opt float 4. & info [ "r-max" ] ~doc:"Upper r bound.") in
+  let run p n points r_max =
+    let grid = Numerics.Grid.linspace 0.01 r_max points in
+    let table =
+      Output.Table.create
+        ~columns:
+          [ ("r", Output.Table.Right); ("C(n,r)", Output.Table.Right);
+            ("log10 E(n,r)", Output.Table.Right) ]
+    in
+    Array.iter
+      (fun r ->
+        Output.Table.add_row table
+          [ Printf.sprintf "%.4g" r;
+            Printf.sprintf "%.6g" (Zeroconf.Cost.mean p ~n ~r);
+            Printf.sprintf "%.3f" (Zeroconf.Reliability.log10_error_probability p ~n ~r) ])
+      grid;
+    print_string (Output.Table.to_text table)
+  in
+  Cmd.v (Cmd.info "curve" ~doc:"Tabulate C_n(r) and E(n, r) over an r grid.")
+    Term.(const run $ scenario_term $ n_term $ points $ r_max)
+
+let latency_cmd =
+  let run p n r =
+    let dist = Zeroconf.Latency.periods p ~n ~r in
+    Format.printf "configuration-time distribution at n = %d, r = %g:@." n r;
+    Format.printf "  mean           = %.4f s@." (Zeroconf.Latency.mean dist);
+    List.iter
+      (fun q ->
+        Format.printf "  %2.0f%% finish by  %.4g s@." (100. *. q)
+          (Zeroconf.Latency.quantile dist q))
+      [ 0.5; 0.9; 0.99; 0.999 ];
+    List.iter
+      (fun t ->
+        Format.printf "  P(wait > %4.3gs) = %.3e@." t (Zeroconf.Latency.exceeds dist t))
+      [ float_of_int n *. r; 2. *. float_of_int n *. r; 30. ]
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Exact distribution of the configuration time (beyond the paper's mean).")
+    Term.(const run $ scenario_term $ n_term $ r_term)
+
+let refine_cmd =
+  let hosts =
+    Arg.(value & opt int 1000 & info [ "occupied" ] ~doc:"Configured hosts m.")
+  in
+  let pool =
+    Arg.(value & opt int 65024 & info [ "pool" ] ~doc:"Address-space size M.")
+  in
+  let run p n r occupied pool =
+    let table =
+      Output.Table.create
+        ~columns:
+          [ ("refinement", Output.Table.Left); ("mean cost", Output.Table.Right);
+            ("error prob", Output.Table.Right); ("mean time (s)", Output.Table.Right);
+            ("mean attempts", Output.Table.Right) ]
+    in
+    List.iter
+      (fun (label, (a : Zeroconf.Attempts.analysis)) ->
+        Output.Table.add_row table
+          [ label;
+            Printf.sprintf "%.4f" a.Zeroconf.Attempts.mean_cost;
+            Printf.sprintf "%.3e" a.Zeroconf.Attempts.error_probability;
+            Printf.sprintf "%.4f" a.Zeroconf.Attempts.mean_time;
+            Printf.sprintf "%.4f" a.Zeroconf.Attempts.mean_attempts ])
+      (Zeroconf.Attempts.compare_refinements p ~occupied ~pool ~n ~r ());
+    print_string (Output.Table.to_text table)
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"The Sec. 3.1 refinements the paper abstracts away: blacklisting and rate limiting.")
+    Term.(const run $ scenario_term $ n_term $ r_term $ hosts $ pool)
+
+let pareto_cmd =
+  let run p =
+    let front = Zeroconf.Tradeoff.front p in
+    Format.printf "Pareto front over (mean cost, error probability): %d designs@.@."
+      (List.length front);
+    let table =
+      Output.Table.create
+        ~columns:
+          [ ("n", Output.Table.Right); ("r", Output.Table.Right);
+            ("cost", Output.Table.Right); ("log10 error", Output.Table.Right) ]
+    in
+    let step = max 1 (List.length front / 20) in
+    List.iteri
+      (fun i (d : Zeroconf.Tradeoff.design) ->
+        if i mod step = 0 then
+          Output.Table.add_row table
+            [ string_of_int d.Zeroconf.Tradeoff.n;
+              Printf.sprintf "%.3f" d.Zeroconf.Tradeoff.r;
+              Printf.sprintf "%.3f" d.Zeroconf.Tradeoff.cost;
+              Printf.sprintf "%.1f" d.Zeroconf.Tradeoff.log10_error ])
+      front;
+    print_string (Output.Table.to_text table);
+    match Zeroconf.Tradeoff.knee front with
+    | Some k ->
+        Format.printf "@.knee (best compromise): n = %d, r = %.3f (cost %.3f, log10 error %.1f)@."
+          k.Zeroconf.Tradeoff.n k.Zeroconf.Tradeoff.r k.Zeroconf.Tradeoff.cost
+          k.Zeroconf.Tradeoff.log10_error
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Cost/reliability trade-off front: the paper's central tension, quantified.")
+    Term.(const run $ scenario_term)
+
+let maintenance_cmd =
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Simulated collisions.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run p n r trials seed =
+    let rng = Numerics.Rng.create seed in
+    let est =
+      Netsim.Maintenance.estimate_error_cost
+        ~loss:(Zeroconf.Params.loss_probability p)
+        ~one_way:(Dist.Families.exponential ~rate:20. ())
+        ~occupied:100 ~pool_size:1024
+        ~config:(Netsim.Newcomer.drm_config ~n ~r ~probe_cost:p.Zeroconf.Params.probe_cost ~error_cost:0.)
+        ~trials ~rng ()
+    in
+    Format.printf "simulated %d address collisions:@." est.Netsim.Maintenance.trials;
+    Format.printf "  mean disruption: %.2f s (max %.2f s)@."
+      est.Netsim.Maintenance.disruption.Numerics.Stats.mean
+      est.Netsim.Maintenance.disruption.Numerics.Stats.max;
+    Format.printf "  mean broken connections: %.2f@." est.Netsim.Maintenance.mean_broken;
+    Format.printf "  suggested error cost E ~ %.1f (on the waiting-seconds scale)@."
+      est.Netsim.Maintenance.suggested_error_cost
+  in
+  Cmd.v
+    (Cmd.info "maintenance"
+       ~doc:"Simulate the post-collision defense protocol: an operational reading of E.")
+    Term.(const run $ scenario_term $ n_term $ r_term $ trials $ seed)
+
+let export_cmd =
+  let format =
+    Arg.(value & opt (enum [ ("prism", `Prism); ("props", `Props); ("dot", `Dot); ("tra", `Tra) ]) `Prism
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: prism (model), props (properties), dot (Graphviz), tra (explicit transitions).")
+  in
+  let run p n r format =
+    match format with
+    | `Prism -> print_string (Zeroconf.Export.to_prism p ~n ~r)
+    | `Props -> print_string (Zeroconf.Export.prism_properties ~n)
+    | `Dot -> print_string (Zeroconf.Export.to_dot p ~n ~r)
+    | `Tra ->
+        let drm = Zeroconf.Drm.build p ~n ~r in
+        print_string (Dtmc.Export.to_tra drm.Zeroconf.Drm.chain)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Emit the DRM for PRISM/Storm or Graphviz cross-validation.")
+    Term.(const run $ scenario_term $ n_term $ r_term $ format)
+
+let workload_cmd =
+  let pattern =
+    Arg.(value & opt (enum [ ("flash", `Flash); ("poisson", `Poisson); ("periodic", `Periodic) ]) `Flash
+         & info [ "pattern" ] ~doc:"Arrival pattern: flash, poisson, or periodic.")
+  in
+  let count = Arg.(value & opt int 40 & info [ "count" ] ~doc:"Hosts in a flash crowd.") in
+  let rate = Arg.(value & opt float 0.1 & info [ "arrival-rate" ] ~doc:"Arrivals per second (poisson/periodic).") in
+  let horizon = Arg.(value & opt float 600. & info [ "horizon" ] ~doc:"Arrival window in seconds.") in
+  let initial = Arg.(value & opt int 24 & info [ "initial" ] ~doc:"Hosts already configured.") in
+  let pool = Arg.(value & opt int 1024 & info [ "pool" ] ~doc:"Address-pool size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let run _p n r pattern count rate horizon initial pool seed =
+    let rng = Numerics.Rng.create seed in
+    let pattern =
+      match pattern with
+      | `Flash -> Netsim.Workload.Flash { count; within = Float.min horizon 5. }
+      | `Poisson -> Netsim.Workload.Poisson rate
+      | `Periodic -> Netsim.Workload.Periodic (1. /. rate)
+    in
+    let config =
+      { (Netsim.Newcomer.drm_config ~n ~r ~probe_cost:0. ~error_cost:0.) with
+        Netsim.Newcomer.immediate_abort = true;
+        Netsim.Newcomer.avoid_failed = true }
+    in
+    let result =
+      Netsim.Workload.run ~pattern ~horizon ~loss:0.02
+        ~one_way:(Dist.Families.uniform ~lo:0.005 ~hi:0.05 ())
+        ~initial ~pool_size:pool ~config ~rng ()
+    in
+    Format.printf
+      "%d arrivals: %d collisions, unique = %b@.mean config time %.2f s; \
+       last completion at %.2f s@."
+      result.Netsim.Workload.arrivals result.Netsim.Workload.collisions
+      result.Netsim.Workload.all_unique result.Netsim.Workload.mean_config_time
+      result.Netsim.Workload.last_completion
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Long-horizon network life: arrival patterns through the simulator.")
+    Term.(const run $ scenario_term $ n_term $ r_term $ pattern $ count $ rate
+          $ horizon $ initial $ pool $ seed)
+
+let adaptive_cmd =
+  let hosts =
+    Arg.(value & opt int 200 & info [ "occupied" ] ~doc:"Configured hosts m.")
+  in
+  let pool =
+    Arg.(value & opt int 256 & info [ "pool" ] ~doc:"Address-space size M.")
+  in
+  let blacklist =
+    Arg.(value & flag & info [ "blacklist" ] ~doc:"Never retry failed addresses.")
+  in
+  let rate_limit =
+    Arg.(value & opt (some (pair int float)) None
+         & info [ "rate-limit" ] ~docv:"K,DELAY"
+             ~doc:"Delay (seconds) before every attempt after K conflicts.")
+  in
+  let run p occupied pool blacklist rate_limit =
+    let refinement =
+      { Zeroconf.Attempts.blacklist; rate_limit; occupied; pool }
+    in
+    let s = Zeroconf.Adaptive.solve p ~refinement () in
+    Format.printf "best fixed choice:  n = %d, r = %.3f  (cost %.4f)@."
+      s.Zeroconf.Adaptive.fixed_best.Zeroconf.Adaptive.n
+      s.Zeroconf.Adaptive.fixed_best.Zeroconf.Adaptive.r
+      s.Zeroconf.Adaptive.fixed_cost;
+    Format.printf "adaptive schedule:  cost %.4f  (improvement %.4f)@."
+      s.Zeroconf.Adaptive.expected_cost s.Zeroconf.Adaptive.improvement;
+    Array.iteri
+      (fun i (c : Zeroconf.Adaptive.choice) ->
+        if
+          i < 8
+          || i = Array.length s.Zeroconf.Adaptive.per_attempt - 1
+          || (i > 0 && c <> s.Zeroconf.Adaptive.per_attempt.(i - 1))
+        then
+          Format.printf "  attempt %-3d -> n = %d, r = %.3f@." (i + 1)
+            c.Zeroconf.Adaptive.n c.Zeroconf.Adaptive.r)
+      s.Zeroconf.Adaptive.per_attempt
+  in
+  Cmd.v
+    (Cmd.info "adaptive"
+       ~doc:"Optimal per-attempt (n, r) schedule via the MDP solver (beyond the paper).")
+    Term.(const run $ scenario_term $ hosts $ pool $ blacklist $ rate_limit)
+
+let fit_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"DELAYS" ~doc:"File with one measured reply delay (seconds) per line.")
+  in
+  let losses =
+    Arg.(value & opt int 0 & info [ "losses" ] ~doc:"Probes that never got a reply.")
+  in
+  let hosts =
+    Arg.(value & opt int 1000 & info [ "fit-hosts" ] ~doc:"Expected occupied addresses.")
+  in
+  let run p file losses hosts =
+    let delays = ref [] in
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = String.trim (input_line ic) in
+            if line <> "" then delays := float_of_string line :: !delays
+          done
+        with End_of_file -> ());
+    let samples = Array.of_list (List.rev !delays) in
+    if Array.length samples = 0 then failwith "no delays in the file";
+    let fit = Dist.Fit.shifted_exponential_mle ~losses samples in
+    Format.printf
+      "fitted F_X: shifted exponential with d = %.4g s, lambda = %.4g, loss = %.3g@."
+      fit.Dist.Fit.delay fit.Dist.Fit.rate fit.Dist.Fit.loss;
+    let fitted = Dist.Fit.to_distribution fit in
+    let q = Dist.Fit.assess ~losses fitted samples in
+    Format.printf "fit quality: KS distance %.4f over %d samples@.@."
+      q.Dist.Fit.ks_statistic (Array.length samples);
+    let scenario =
+      Zeroconf.Params.v ~name:"fitted" ~delay:fitted
+        ~q:(Zeroconf.Params.q_of_hosts hosts)
+        ~probe_cost:p.Zeroconf.Params.probe_cost
+        ~error_cost:p.Zeroconf.Params.error_cost
+    in
+    let o = Zeroconf.Optimize.global_optimum scenario in
+    Format.printf
+      "recommended parameters for the measured network:@.\
+      \  n = %d, r = %.4f  (cost %.4g, error probability %.3g)@.@."
+      o.Zeroconf.Optimize.n o.Zeroconf.Optimize.r o.Zeroconf.Optimize.cost
+      o.Zeroconf.Optimize.error_prob;
+    (* how stable is that advice under measurement noise? *)
+    let boot =
+      Zeroconf.Uncertainty.bootstrap ~rounds:100 ~losses
+        ~rng:(Numerics.Rng.create 1) ~delays:samples
+        ~q:(Zeroconf.Params.q_of_hosts hosts)
+        ~probe_cost:p.Zeroconf.Params.probe_cost
+        ~error_cost:p.Zeroconf.Params.error_cost ()
+    in
+    Format.printf "%a@." Zeroconf.Uncertainty.pp boot
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:"Fit F_X to measured reply delays and recommend (n, r) — the Sec. 3.2 workflow.")
+    Term.(const run $ scenario_term $ file $ losses $ hosts)
+
+let check_cmd =
+  let formula_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FORMULA"
+             ~doc:"PCTL formula over the DRM's state labels (start, 1st..nth, \
+                   error, ok), e.g. 'P<1e-40 [ F error ]'.")
+  in
+  let run p n r text =
+    let drm = Zeroconf.Drm.build p ~n ~r in
+    let chain = drm.Zeroconf.Drm.chain in
+    let labels = Dtmc.Pctl.label_of_state chain in
+    (match Dtmc.Pctl_parser.formula text with
+    | formula ->
+        let verdict =
+          Dtmc.Pctl.holds chain labels ~from:drm.Zeroconf.Drm.start formula
+        in
+        Format.printf "%s@.  |= %s@." (if verdict then "TRUE" else "FALSE") text
+    | exception Dtmc.Pctl_parser.Parse_error msg -> (
+        (* maybe it is a bare path formula: answer the P=? query *)
+        match Dtmc.Pctl_parser.path text with
+        | path ->
+            Format.printf "P=? [ %s ] = %.6g@." text
+              (Dtmc.Pctl.path_probability chain labels
+                 ~from:drm.Zeroconf.Drm.start path)
+        | exception Dtmc.Pctl_parser.Parse_error _ ->
+            Format.printf "parse error: %s@." msg;
+            exit 1))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check a PCTL formula on the DRM (or compute P=? for a bare path).")
+    Term.(const run $ scenario_term $ n_term $ r_term $ formula_arg)
+
+let report_cmd =
+  let draft_n =
+    Arg.(value & opt int 4 & info [ "draft-n" ] ~doc:"Draft probe count.")
+  in
+  let draft_r =
+    Arg.(value & opt float 2. & info [ "draft-r" ] ~doc:"Draft listening period.")
+  in
+  let run p draft_n draft_r = Zeroconf.Report.print ~draft_n ~draft_r p in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"One-page Markdown design report for a scenario (optimum, frontier, sensitivities).")
+    Term.(const run $ scenario_term $ draft_n $ draft_r)
+
+let () =
+  let info =
+    Cmd.info "zeroconf_cli" ~version:"1.0.0"
+      ~doc:"Cost-optimization of the IPv4 zeroconf protocol (DSN 2003 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cost_cmd; optimal_r_cmd; optimal_n_cmd; assess_cmd; nu_cmd;
+            calibrate_cmd; simulate_cmd; curve_cmd; latency_cmd; refine_cmd;
+            pareto_cmd; maintenance_cmd; export_cmd; workload_cmd; adaptive_cmd;
+            report_cmd; fit_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/calibration_study.ml: Format List Output Printf Zeroconf

@@ -1,0 +1,1 @@
+examples/flash_crowd.ml: Dist Format Netsim Numerics

@@ -1,0 +1,1 @@
+examples/impatient_user.ml: Format List Output Printf Zeroconf

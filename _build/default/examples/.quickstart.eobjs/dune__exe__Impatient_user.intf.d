@@ -1,0 +1,1 @@
+examples/impatient_user.mli:

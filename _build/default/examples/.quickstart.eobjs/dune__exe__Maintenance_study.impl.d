@@ -1,0 +1,1 @@
+examples/maintenance_study.ml: Dist Format List Netsim Numerics Output Printf

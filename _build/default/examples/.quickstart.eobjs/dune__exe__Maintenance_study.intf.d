@@ -1,0 +1,1 @@
+examples/maintenance_study.mli:

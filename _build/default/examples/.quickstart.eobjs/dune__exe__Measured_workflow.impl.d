@@ -1,0 +1,1 @@
+examples/measured_workflow.ml: Array Dist Format Numerics Zeroconf

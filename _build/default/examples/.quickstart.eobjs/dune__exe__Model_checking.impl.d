@@ -1,0 +1,1 @@
+examples/model_checking.ml: Dtmc Float Format Printf Zeroconf

@@ -1,0 +1,1 @@
+examples/model_vs_simulation.ml: Dist Dtmc Format List Netsim Numerics String Zeroconf

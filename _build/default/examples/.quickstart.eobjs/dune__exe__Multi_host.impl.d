@@ -1,0 +1,1 @@
+examples/multi_host.ml: Array Dist Format List Netsim Numerics

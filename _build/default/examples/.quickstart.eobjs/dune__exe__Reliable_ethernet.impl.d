@@ -1,0 +1,1 @@
+examples/reliable_ethernet.ml: Format List Output Printf Zeroconf

@@ -1,0 +1,1 @@
+examples/sensitivity_study.ml: Float Format List Output Printf Zeroconf

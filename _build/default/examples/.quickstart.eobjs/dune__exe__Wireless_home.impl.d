@@ -1,0 +1,1 @@
+examples/wireless_home.ml: Format List Numerics Output Printf Zeroconf

@@ -1,0 +1,52 @@
+(* What does an address collision actually cost?
+
+   The paper treats E as an abstract quantity and (Sec. 4.5) infers the
+   values that would justify the draft's parameters.  Here we ground it
+   operationally: simulate the maintenance protocol after an accepted
+   collision -- latent conflict, eventual detection through background
+   ARP traffic, defense by the incumbent, forced reconfiguration of the
+   newcomer -- and price the disruption on the paper's waiting-seconds
+   scale.
+
+     dune exec examples/maintenance_study.exe
+*)
+
+let () =
+  let rng = Numerics.Rng.create 2026 in
+  let one_way = Dist.Families.exponential ~rate:40. () in
+  let config =
+    Netsim.Newcomer.drm_config ~n:4 ~r:2. ~probe_cost:0. ~error_cost:0.
+  in
+  Format.printf
+    "Simulating the post-collision maintenance protocol (100 collisions@.\
+     per row).  Disruption = detection latency + reconfiguration time.@.@.";
+  let table =
+    Output.Table.create
+      ~columns:
+        [ ("bg ARP rate (/s)", Output.Table.Right); ("loss", Output.Table.Right);
+          ("mean disruption (s)", Output.Table.Right);
+          ("worst (s)", Output.Table.Right);
+          ("broken conns", Output.Table.Right);
+          ("suggested E", Output.Table.Right) ]
+  in
+  List.iter
+    (fun (bg, loss) ->
+      let est =
+        Netsim.Maintenance.estimate_error_cost ~background_rate:bg ~loss
+          ~one_way ~occupied:100 ~pool_size:1024 ~config ~trials:100 ~rng ()
+      in
+      Output.Table.add_row table
+        [ Printf.sprintf "%.2f" bg;
+          Printf.sprintf "%.2f" loss;
+          Printf.sprintf "%.1f" est.Netsim.Maintenance.disruption.Numerics.Stats.mean;
+          Printf.sprintf "%.1f" est.Netsim.Maintenance.disruption.Numerics.Stats.max;
+          Printf.sprintf "%.2f" est.Netsim.Maintenance.mean_broken;
+          Printf.sprintf "%.1f" est.Netsim.Maintenance.suggested_error_cost ])
+    [ (1., 0.01); (0.1, 0.01); (0.01, 0.01); (0.1, 0.3) ];
+  print_string (Output.Table.to_text table);
+  Format.printf
+    "@.Reading: on a chatty, reliable LAN a collision resolves in seconds and@.\
+     E ~ tens; on a quiet or lossy network the conflict stays latent far@.\
+     longer.  The astronomical E values of Sec. 4.5 (1e20..1e35) encode not@.\
+     this direct disruption but the manufacturer's aversion to it -- one@.\
+     broken TCP session per million devices is already a support call.@."

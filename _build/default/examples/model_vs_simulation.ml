@@ -1,0 +1,91 @@
+(* Three independent routes to the paper's quantities must agree:
+
+   1. the closed forms, Eqs. 3 and 4;
+   2. a linear-algebra solve of the Sec. 4.1 DRM matrices;
+   3. Monte-Carlo simulation — both of the DRM chain and of the actual
+      packet-level protocol on a lossy broadcast link.
+
+     dune exec examples/model_vs_simulation.exe
+*)
+
+let () =
+  (* A collision-heavy scenario so simulation converges quickly: a
+     crowded 1024-address pool with 300 occupied, lossy probes. *)
+  let pool_size = 1024 and occupied = 300 in
+  let q = float_of_int occupied /. float_of_int pool_size in
+  let delay = Dist.Families.shifted_exponential ~mass:0.9 ~rate:2. ~delay:0.5 () in
+  let p =
+    Zeroconf.Params.v ~name:"crowded-lan" ~delay ~q ~probe_cost:1.
+      ~error_cost:100.
+  in
+  let n = 3 and r = 1. in
+  Format.printf "%a@.n = %d, r = %g@.@." Zeroconf.Params.pp p n r;
+
+  (* Routes 1 and 2. *)
+  let drm = Zeroconf.Drm.build p ~n ~r in
+  Format.printf "analytic (Eq. 3) cost  = %.5f@." (Zeroconf.Cost.mean p ~n ~r);
+  Format.printf "matrix DRM cost        = %.5f@." (Zeroconf.Drm.mean_cost drm);
+  Format.printf "analytic (Eq. 4) error = %.5f@."
+    (Zeroconf.Reliability.error_probability p ~n ~r);
+  Format.printf "matrix DRM error       = %.5f@.@." (Zeroconf.Drm.error_probability drm);
+
+  (* Route 3a: Monte-Carlo on the chain itself. *)
+  let rng = Numerics.Rng.create 7 in
+  let trials = 40_000 in
+  let cost_est = Zeroconf.Drm.simulate_cost ~trials ~rng drm in
+  let err_est = Zeroconf.Drm.simulate_error ~trials ~rng drm in
+  Format.printf "chain simulation (%d trials):@." trials;
+  Format.printf "  cost  = %.5f  [%.5f, %.5f]@." cost_est.Dtmc.Simulate.mean
+    cost_est.Dtmc.Simulate.ci_lo cost_est.Dtmc.Simulate.ci_hi;
+  Format.printf "  error = %.5f  [%.5f, %.5f]@.@." err_est.Dtmc.Simulate.mean
+    err_est.Dtmc.Simulate.ci_lo err_est.Dtmc.Simulate.ci_hi;
+
+  (* Route 3b: sample actual reply delays from F_X (aggregate mode). *)
+  let config =
+    Netsim.Newcomer.drm_config ~n ~r ~probe_cost:p.Zeroconf.Params.probe_cost
+      ~error_cost:p.Zeroconf.Params.error_cost
+  in
+  let outcomes =
+    Netsim.Scenario.run_aggregate ~delay ~occupied ~pool_size ~config
+      ~trials:20_000 ~rng ()
+  in
+  Format.printf "F_X-sampling simulation:@.%a@.@." Netsim.Metrics.pp_aggregate
+    (Netsim.Metrics.aggregate outcomes);
+
+  (* Route 3c: the full packet-level network.  The combined probe-trip,
+     processing and reply-trip stochastics are configured so the
+     end-to-end reply behaviour matches F_X: one-way delays of d/2 each
+     leg, exponential processing, and per-leg loss 1 - sqrt 0.9. *)
+  let leg_loss = 1. -. sqrt 0.9 in
+  let outcomes =
+    Netsim.Scenario.run_detailed ~loss:leg_loss
+      ~one_way:(Dist.Families.deterministic ~delay:0.25 ())
+      ~processing:(Dist.Families.exponential ~rate:2. ())
+      ~occupied ~pool_size ~config ~trials:4_000 ~rng ()
+  in
+  Format.printf "packet-level simulation:@.%a@." Netsim.Metrics.pp_aggregate
+    (Netsim.Metrics.aggregate outcomes);
+
+  (* And one fully traced run, to see the protocol at work. *)
+  let outcome, log =
+    Netsim.Scenario.trace_one ~loss:0.4
+      ~one_way:(Dist.Families.deterministic ~delay:0.25 ())
+      ~processing:(Dist.Families.exponential ~rate:2. ())
+      ~occupied:200 ~pool_size:256
+      ~config:(Netsim.Newcomer.drm_config ~n:2 ~r:1. ~probe_cost:1. ~error_cost:100.)
+      ~rng ()
+  in
+  Format.printf "@.One traced run (crowded 256-address pool):@.";
+  let is_loss_chatter line =
+    (* per-receiver delivery/loss lines start with two spaces *)
+    String.length line > 0 && line.[0] = ' '
+  in
+  List.iter
+    (fun (t, line) ->
+      if not (is_loss_chatter line) then Format.printf "  %7.3f  %s@." t line)
+    log;
+  Format.printf "  -> %s after %d probes, %d restarts, %.2f s%s@."
+    (Netsim.Address_pool.to_string outcome.Netsim.Metrics.address)
+    outcome.Netsim.Metrics.probes_sent outcome.Netsim.Metrics.restarts
+    outcome.Netsim.Metrics.config_time
+    (if outcome.Netsim.Metrics.collided then " (COLLISION!)" else "")

@@ -1,0 +1,42 @@
+(* Quickstart: evaluate the zeroconf cost model on the paper's demo
+   scenario and find the optimal protocol parameters.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* The Sec. 4.3 scenario: 1000 hosts on the link, round-trip delay
+     d = 1 s, reply rate lambda = 10, loss probability 1e-15, postage
+     c = 2, error cost E = 1e35. *)
+  let scenario = Zeroconf.Params.figure2 in
+  Format.printf "%a@.@." Zeroconf.Params.pp scenario;
+
+  (* Mean cost and reliability of the Internet-draft's choice n = 4,
+     r = 2 (Eqs. 3 and 4). *)
+  let n = 4 and r = 2. in
+  Format.printf "Draft parameters (n = %d, r = %g):@." n r;
+  Format.printf "  mean total cost  C(n, r) = %.4f@."
+    (Zeroconf.Cost.mean scenario ~n ~r);
+  Format.printf "  error probability E(n, r) = %.3g@.@."
+    (Zeroconf.Reliability.error_probability scenario ~n ~r);
+
+  (* How few probes can work at all? (Sec. 4.4) *)
+  Format.printf "Minimal useful probe count nu = %d@.@."
+    (Zeroconf.Optimize.min_useful_probes scenario);
+
+  (* Optimal listening period for each probe count (Fig. 2's minima). *)
+  Format.printf "Optimal r per n:@.";
+  List.iter
+    (fun n ->
+      let res = Zeroconf.Optimize.optimal_r scenario ~n in
+      Format.printf "  n = %d: r_opt = %.4f, C = %.4f@." n
+        res.Numerics.Minimize.x res.Numerics.Minimize.fx)
+    [ 3; 4; 5; 6; 7; 8 ];
+  Format.printf "@.";
+
+  (* The global optimum over both parameters. *)
+  let best = Zeroconf.Optimize.global_optimum scenario in
+  Format.printf
+    "Global optimum: n = %d, r = %.4f  (cost %.4f, error prob %.3g)@."
+    best.Zeroconf.Optimize.n best.Zeroconf.Optimize.r
+    best.Zeroconf.Optimize.cost best.Zeroconf.Optimize.error_prob

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Attempts Dist Dtmc Float List Numerics Params Printf Probes

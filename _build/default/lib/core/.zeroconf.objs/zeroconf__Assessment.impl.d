@@ -1,0 +1,1 @@
+lib/core/assessment.ml: Cost Format Optimize Params Reliability

@@ -1,0 +1,1 @@
+lib/core/assessment.mli: Format Optimize Params

@@ -1,0 +1,1 @@
+lib/core/attempts.ml: Array Numerics Params Probes

@@ -1,0 +1,1 @@
+lib/core/attempts.mli: Params

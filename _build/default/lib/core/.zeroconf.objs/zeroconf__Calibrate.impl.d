@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Array Float Numerics Optimize Params Printf Probes

@@ -1,0 +1,1 @@
+lib/core/drm.ml: Dtmc Params Printf Probes

@@ -1,0 +1,1 @@
+lib/core/drm.mli: Dtmc Numerics Params

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Assessment Calibrate Cost Dist Drm Dtmc Latency List Numerics Optimize Option Params Printf Reliability Tradeoff

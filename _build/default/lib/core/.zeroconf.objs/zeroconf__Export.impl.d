@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Drm Dtmc Params Printf Probes String

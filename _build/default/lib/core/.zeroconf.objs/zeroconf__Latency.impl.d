@@ -1,0 +1,1 @@
+lib/core/latency.ml: Array Numerics Params Probes

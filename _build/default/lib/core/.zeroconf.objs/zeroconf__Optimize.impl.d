@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Cost Dist Float Numerics Params Probes Reliability

@@ -1,0 +1,1 @@
+lib/core/probes.ml: Array Dist Numerics Params

@@ -1,0 +1,1 @@
+lib/core/rare.ml: Drm Dtmc Params Reliability

@@ -1,0 +1,1 @@
+lib/core/rare.mli: Dtmc Numerics Params

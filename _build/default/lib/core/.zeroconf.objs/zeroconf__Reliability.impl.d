@@ -1,0 +1,1 @@
+lib/core/reliability.ml: Float Numerics Params Probes

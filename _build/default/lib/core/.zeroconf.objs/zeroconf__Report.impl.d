@@ -1,0 +1,1 @@
+lib/core/report.ml: Assessment Buffer Dist Latency List Optimize Params Printf Sensitivity Tradeoff

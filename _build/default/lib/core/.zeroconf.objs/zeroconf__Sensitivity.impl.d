@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Cost Dist Float List Numerics Params Reliability

@@ -1,0 +1,1 @@
+lib/core/tradeoff.ml: Array Cost Float List Numerics Params Reliability

@@ -1,0 +1,1 @@
+lib/core/uncertainty.ml: Array Dist Format Hashtbl List Numerics Optimize Option Params

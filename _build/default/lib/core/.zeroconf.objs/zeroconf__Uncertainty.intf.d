@@ -1,0 +1,1 @@
+lib/core/uncertainty.mli: Format Numerics

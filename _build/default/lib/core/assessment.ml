@@ -1,0 +1,41 @@
+type t = {
+  scenario : Params.t;
+  nu : int;
+  draft : Optimize.point;
+  optimum : Optimize.point;
+  cost_ratio : float;
+  draft_config_time : float;
+  optimal_config_time : float;
+}
+
+let point p ~n ~r =
+  { Optimize.n;
+    r;
+    cost = Cost.mean p ~n ~r;
+    error_prob = Reliability.error_probability p ~n ~r }
+
+let run ?(draft_n = 4) ?(draft_r = 2.) (p : Params.t) =
+  let draft = point p ~n:draft_n ~r:draft_r in
+  let optimum = Optimize.global_optimum p in
+  { scenario = p;
+    nu = Optimize.min_useful_probes p;
+    draft;
+    optimum;
+    cost_ratio = draft.cost /. optimum.cost;
+    draft_config_time = float_of_int draft_n *. draft_r;
+    optimal_config_time = float_of_int optimum.Optimize.n *. optimum.Optimize.r }
+
+let pp_point ppf (pt : Optimize.point) =
+  Format.fprintf ppf "n = %d, r = %.4g  (cost %.4g, error prob %.3g)"
+    pt.Optimize.n pt.Optimize.r pt.Optimize.cost pt.Optimize.error_prob
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>assessment of %s:@,\
+    \  nu (minimal useful n) = %d@,\
+    \  draft:   %a@,\
+    \  optimal: %a@,\
+    \  draft costs %.3gx the optimum@,\
+    \  configuration time: %.3gs (draft) vs %.3gs (optimal)@]"
+    t.scenario.Params.name t.nu pp_point t.draft pp_point t.optimum
+    t.cost_ratio t.draft_config_time t.optimal_config_time

@@ -1,0 +1,18 @@
+(** Assessing the Internet-draft's parameter choice (Sec. 6): compare
+    the draft's [(n, r)] against the cost-optimal setting for a given
+    scenario. *)
+
+type t = {
+  scenario : Params.t;
+  nu : int;                    (** Minimal useful probe count. *)
+  draft : Optimize.point;      (** Cost/error at the draft's [(n, r)]. *)
+  optimum : Optimize.point;    (** Globally cost-optimal [(n, r)]. *)
+  cost_ratio : float;          (** [draft.cost / optimum.cost]. *)
+  draft_config_time : float;   (** [n * r] of the draft: seconds a user waits. *)
+  optimal_config_time : float; (** [n * r] at the optimum. *)
+}
+
+val run : ?draft_n:int -> ?draft_r:float -> Params.t -> t
+(** Defaults to the draft's [n = 4], [r = 2]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+let check name n r =
+  if n < 1 then invalid_arg (name ^ ": n must be >= 1");
+  if r < 0. then invalid_arg (name ^ ": negative listening period")
+
+let mean (p : Params.t) ~n ~r =
+  check "Cost.mean" n r;
+  let pis = Probes.pi_all p ~n ~r in
+  let sum_pi =
+    Numerics.Safe_float.sum (Array.sub pis 0 n) (* pi_0 .. pi_{n-1} *)
+  in
+  let pi_n = pis.(n) in
+  let numerator =
+    ((r +. p.probe_cost)
+     *. ((float_of_int n *. (1. -. p.q)) +. (p.q *. sum_pi)))
+    +. (p.q *. p.error_cost *. pi_n)
+  in
+  numerator /. (1. -. (p.q *. (1. -. pi_n)))
+
+let mean_log (p : Params.t) ~n ~r =
+  check "Cost.mean_log" n r;
+  let module L = Numerics.Logspace in
+  let q = L.of_float p.q in
+  let one_minus_q = L.of_float (1. -. p.q) in
+  (* pi_i in log space, using the same telescoped survival ratios *)
+  let log_pis = Array.make (n + 1) 0. in
+  for i = 1 to n do
+    let s = p.delay.survival in
+    let ratio = s (float_of_int i *. r) /. s 0. in
+    log_pis.(i) <-
+      log_pis.(i - 1) +. (if ratio <= 0. then neg_infinity else log ratio)
+  done;
+  let pi_n = L.of_log log_pis.(n) in
+  let sum_pi = L.sum (List.init n (fun i -> L.of_log log_pis.(i))) in
+  let r_plus_c = L.of_float (r +. p.probe_cost) in
+  let n_term = L.mul (L.of_float (float_of_int n)) one_minus_q in
+  let numerator =
+    L.add
+      (L.mul r_plus_c (L.add n_term (L.mul q sum_pi)))
+      (L.mul (L.mul q (L.of_float p.error_cost)) pi_n)
+  in
+  let denominator = L.sub L.one (L.mul q (L.sub L.one pi_n)) in
+  L.div numerator denominator
+
+let asymptote (p : Params.t) ~n ~r =
+  check "Cost.asymptote" n r;
+  let l = p.delay.mass in
+  let loss = 1. -. l in
+  (* (1 - (1-l)^n) / l, continuous at l = 1 *)
+  let geometric =
+    if loss = 0. then float_of_int n
+    else (1. -. (loss ** float_of_int n)) /. l
+  in
+  (r +. p.probe_cost)
+  *. ((float_of_int n *. (1. -. p.q)) +. (p.q *. geometric))
+  /. (1. -. p.q)
+
+let at_zero (p : Params.t) = p.q *. p.error_cost
+
+let derivative p ~n ~r =
+  check "Cost.derivative" n r;
+  Numerics.Derivative.richardson ~f:(fun r -> mean p ~n ~r) r

@@ -1,0 +1,59 @@
+let to_prism (p : Params.t) ~n ~r =
+  if n < 1 then invalid_arg "Export.to_prism: n < 1";
+  if r < 0. then invalid_arg "Export.to_prism: negative r";
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "// IPv4 zeroconf initialization (Bohnenkamp et al., DSN 2003, Sec. 4.1)\n";
+  add "// scenario %s: q = %.17g, c = %.17g, E = %.17g, r = %g, n = %d\n" p.Params.name
+    p.Params.q p.Params.probe_cost p.Params.error_cost r n;
+  add "// state encoding: 0 = start, 1..%d = probe states, %d = error, %d = ok\n\n"
+    n (n + 1) (n + 2);
+  add "dtmc\n\n";
+  add "const double q = %.17g;\n" p.Params.q;
+  for i = 1 to n do
+    add "const double p%d = %.17g; // P(no answer to any of %d probes in period %d)\n"
+      i (Probes.no_answer p ~i ~r) i i
+  done;
+  add "\nmodule zeroconf\n";
+  add "  s : [0..%d] init 0;\n\n" (n + 2);
+  add "  [] s=0 -> q : (s'=1) + (1-q) : (s'=%d);\n" (n + 2);
+  for i = 1 to n do
+    let next = if i = n then n + 1 else i + 1 in
+    add "  [] s=%d -> p%d : (s'=%d) + (1-p%d) : (s'=0);\n" i i next i
+  done;
+  add "  [] s=%d -> (s'=%d); // error\n" (n + 1) (n + 1);
+  add "  [] s=%d -> (s'=%d); // ok\n" (n + 2) (n + 2);
+  add "endmodule\n\n";
+  add "// expected one-step costs (Sec. 4.1), as state rewards so that\n";
+  add "// R{\"cost\"}=? [ F s>=%d ] equals the paper's Eq. 3\n" (n + 1);
+  add "rewards \"cost\"\n";
+  (* w_start = q (r+c) + (1-q) n (r+c); w_i = p_i c_i->next *)
+  let step = r +. p.Params.probe_cost in
+  let w_start =
+    (p.Params.q *. step) +. ((1. -. p.Params.q) *. float_of_int n *. step)
+  in
+  add "  s=0 : %.17g;\n" w_start;
+  for i = 1 to n do
+    let p_i = Probes.no_answer p ~i ~r in
+    let forward_cost = if i = n then p.Params.error_cost else step in
+    add "  s=%d : %.17g;\n" i (p_i *. forward_cost)
+  done;
+  add "endrewards\n";
+  Buffer.contents buf
+
+let prism_properties ~n =
+  if n < 1 then invalid_arg "Export.prism_properties: n < 1";
+  String.concat "\n"
+    [ "// Eq. 4: probability the initialization accepts a colliding address";
+      Printf.sprintf "P=? [ F s=%d ]" (n + 1);
+      "// reliability (complement)";
+      Printf.sprintf "P=? [ F s=%d ]" (n + 2);
+      "// Eq. 3: mean total cost of a protocol run";
+      Printf.sprintf "R{\"cost\"}=? [ F s>=%d ]" (n + 1);
+      "" ]
+
+let to_dot p ~n ~r =
+  let drm = Drm.build p ~n ~r in
+  Dtmc.Export.to_dot ~costs:drm.Drm.reward
+    ~highlight:[ drm.Drm.error; drm.Drm.ok ]
+    drm.Drm.chain

@@ -1,0 +1,22 @@
+(** Export the zeroconf DRM to probabilistic model checkers.
+
+    The zeroconf protocol is a standard benchmark of the PRISM model
+    suite; this module emits our Sec. 4.1 chain in PRISM's input
+    language so the reproduction can be cross-validated against an
+    independent tool, plus Graphviz for documentation. *)
+
+val to_prism : Params.t -> n:int -> r:float -> string
+(** A complete PRISM [dtmc] model: the state variable, one command per
+    transient state with the numeric probabilities [q], [p_1(r)], ...,
+    [p_n(r)], and a ["cost"] reward structure carrying the expected
+    one-step costs of Sec. 4.1 (so that PRISM's
+    [R{"cost"}=? \[F done\]] equals Eq. 3). *)
+
+val prism_properties : n:int -> string
+(** The matching property file: error reachability (Eq. 4), reliability,
+    and expected total cost (Eq. 3), phrased against the state encoding
+    of {!to_prism} for the same [n]. *)
+
+val to_dot : Params.t -> n:int -> r:float -> string
+(** Graphviz rendering of the DRM (Figure 1 of the paper, with the
+    numeric annotations). *)

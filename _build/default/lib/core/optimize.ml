@@ -1,0 +1,117 @@
+type point = { n : int; r : float; cost : float; error_prob : float }
+
+let min_useful_probes (p : Params.t) =
+  let loss = Params.loss_probability p in
+  if loss <= 0. || p.error_cost <= 1. then 1
+  else
+    let nu = Float.ceil (-.log p.error_cost /. log loss) in
+    max 1 (int_of_float nu)
+
+(* Initial search scale for r: past the round-trip bulk of the delay
+   distribution the polynomial term is already decaying, so a high
+   quantile of the conditional delay is a sound starting point. *)
+let default_r_hi (p : Params.t) ~n =
+  let bulk =
+    match p.delay.mean with
+    | Some m -> 4. *. m
+    | None -> (
+        try Dist.Distribution.quantile p.delay (0.99 *. p.delay.mass)
+        with Invalid_argument _ -> 1.)
+  in
+  Float.max 1. (bulk *. Float.max 1. (8. /. float_of_int n))
+
+let optimal_r ?r_hi ?(samples = 512) (p : Params.t) ~n =
+  if n < 1 then invalid_arg "Optimize.optimal_r: n must be >= 1";
+  let f r = Cost.mean p ~n ~r in
+  let rec search hi attempts =
+    let result = Numerics.Minimize.grid_then_brent ~samples ~f 0. hi in
+    if result.x >= 0.95 *. hi && attempts < 60 then search (hi *. 2.) (attempts + 1)
+    else result
+  in
+  let hi = match r_hi with Some h -> h | None -> default_r_hi p ~n in
+  search hi 0
+
+let optimal_n ?(n_max = 4096) ?(patience = 24) (p : Params.t) ~r =
+  if r < 0. then invalid_arg "Optimize.optimal_n: negative r";
+  (* While i*r is below the round-trip delay, p_i(r) = 1 and the cost
+     rises linearly in n on a plateau at height ~ qE; the first n whose
+     horizon can see a reply is where the descent can start.  Below that
+     point n = 1 is the (bad) optimum of the plateau. *)
+  let first_useful =
+    let rec find i =
+      if i > n_max then n_max
+      else if Probes.no_answer p ~i ~r < 1. then i
+      else find (i + 1)
+    in
+    if r = 0. then n_max else find 1
+  in
+  let best_n = ref 1 and best_cost = ref (Cost.mean p ~n:1 ~r) in
+  let misses = ref 0 in
+  let n = ref (max 1 first_useful) in
+  while !misses < patience && !n <= n_max do
+    let c = Cost.mean p ~n:!n ~r in
+    if c < !best_cost then begin
+      best_n := !n;
+      best_cost := c;
+      misses := 0
+    end else incr misses;
+    incr n
+  done;
+  (!best_n, !best_cost)
+
+let min_cost ?n_max ?patience p ~r = snd (optimal_n ?n_max ?patience p ~r)
+
+let error_under_optimal_n ?n_max (p : Params.t) ~r =
+  let n, _ = optimal_n ?n_max p ~r in
+  Reliability.error_probability p ~n ~r
+
+let global_optimum ?(n_max = 4096) ?(patience = 8) (p : Params.t) =
+  let evaluate n =
+    let { Numerics.Minimize.x = r; fx = cost; _ } = optimal_r p ~n in
+    { n; r; cost; error_prob = Reliability.error_probability p ~n ~r }
+  in
+  let best = ref (evaluate 1) in
+  let misses = ref 0 in
+  let n = ref 2 in
+  (* skip straight to nu when it prunes a long useless prefix *)
+  let nu = min_useful_probes p in
+  if nu > 8 then begin
+    let at_nu = evaluate nu in
+    if at_nu.cost < !best.cost then best := at_nu;
+    n := nu + 1
+  end;
+  while !misses < patience && !n <= n_max do
+    let candidate = evaluate !n in
+    if candidate.cost < !best.cost then begin
+      best := candidate;
+      misses := 0
+    end else incr misses;
+    incr n
+  done;
+  !best
+
+let constrained_optimum ?(n_max = 32) ~budget (p : Params.t) =
+  if budget <= 0. then invalid_arg "Optimize.constrained_optimum: budget <= 0";
+  let evaluate n =
+    let r_cap = budget /. float_of_int n in
+    let unconstrained = optimal_r ~r_hi:r_cap p ~n in
+    let r = Float.min unconstrained.Numerics.Minimize.x r_cap in
+    let cost = Cost.mean p ~n ~r in
+    { n; r; cost; error_prob = Reliability.error_probability p ~n ~r }
+  in
+  let best = ref (evaluate 1) in
+  for n = 2 to n_max do
+    let candidate = evaluate n in
+    if candidate.cost < !best.cost then best := candidate
+  done;
+  !best
+
+let probes_for_error_target ?(n_max = 256) (p : Params.t) ~r ~target =
+  if not (Numerics.Safe_float.is_probability target) then
+    invalid_arg "Optimize.probes_for_error_target: target outside [0, 1]";
+  let rec search n =
+    if n > n_max then None
+    else if Reliability.error_probability p ~n ~r <= target then Some n
+    else search (n + 1)
+  in
+  search 1

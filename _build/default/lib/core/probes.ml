@@ -1,0 +1,57 @@
+let check_args name i r =
+  if i < 0 then invalid_arg (name ^ ": negative probe index");
+  if r < 0. then invalid_arg (name ^ ": negative listening period")
+
+(* Eq. 1 telescopes to a single survival ratio: each factor is
+   S(jr)/S((j-1)r), so the product over j = 1..i collapses to
+   S(ir)/S(0). *)
+let no_answer (p : Params.t) ~i ~r =
+  check_args "Probes.no_answer" i r;
+  if i = 0 then 1.
+  else
+    let s = p.delay.survival in
+    let s0 = s 0. in
+    if s0 <= 0. then 0. else s (float_of_int i *. r) /. s0
+
+let no_answer_literal (p : Params.t) ~i ~r =
+  check_args "Probes.no_answer_literal" i r;
+  let f = p.delay.cdf in
+  let acc = ref 1. in
+  for j = 1 to i do
+    let fj = f (float_of_int j *. r) and fj1 = f (float_of_int (j - 1) *. r) in
+    let denom = 1. -. fj1 in
+    let factor = if denom <= 0. then 0. else 1. -. ((fj -. fj1) /. denom) in
+    acc := !acc *. Numerics.Safe_float.clamp_probability factor
+  done;
+  !acc
+
+let pi_all (p : Params.t) ~n ~r =
+  check_args "Probes.pi_all" n r;
+  let out = Array.make (n + 1) 1. in
+  for i = 1 to n do
+    out.(i) <- out.(i - 1) *. no_answer p ~i ~r
+  done;
+  out
+
+let pi p ~n ~r =
+  check_args "Probes.pi" n r;
+  let acc = ref 1. in
+  for i = 1 to n do
+    acc := !acc *. no_answer p ~i ~r
+  done;
+  !acc
+
+let log_pi (p : Params.t) ~n ~r =
+  check_args "Probes.log_pi" n r;
+  let s = p.delay.survival in
+  let acc = ref 0. in
+  for i = 1 to n do
+    (* log p_i = log S(ir) - log S(0); S(0) = 1 for delay >= 0 *)
+    let si = s (float_of_int i *. r) /. s 0. in
+    acc := !acc +. (if si <= 0. then neg_infinity else log si)
+  done;
+  !acc
+
+let pi_limit (p : Params.t) ~n =
+  if n < 0 then invalid_arg "Probes.pi_limit: negative n";
+  Dist.Distribution.loss_probability p.delay ** float_of_int n

@@ -1,0 +1,30 @@
+(** Protocol reliability — Eq. 4 of the paper.
+
+    The error probability is the probability that a run ends in state
+    [error] (the host starts using an address that is actually in
+    use):
+
+    {v
+                       q pi_n(r)
+    E(n, r)  =  ----------------------
+                 1 - q (1 - pi_n(r))
+    v}
+
+    and the reliability is its complement, the probability of ending in
+    [ok]. *)
+
+val error_probability : Params.t -> n:int -> r:float -> float
+(** [E(n, r)].  Requires [n >= 1], [r >= 0]. *)
+
+val log10_error_probability : Params.t -> n:int -> r:float -> float
+(** Base-10 log of [E(n, r)], computed in the log domain: the
+    figure-5/6 ordinate, finite down to [10^-300] and beyond. *)
+
+val reliability : Params.t -> n:int -> r:float -> float
+(** [1 - E(n, r)]: probability the configured address is genuinely
+    free. *)
+
+val error_bound : Params.t -> n:int -> float
+(** The [r -> inf] floor of the error probability,
+    [E_inf = q (1-l)^n / (1 - q (1 - (1-l)^n))]: no amount of waiting
+    gets below this (driven purely by permanent message loss). *)

@@ -1,0 +1,22 @@
+let probe_num = 4
+let probe_wait = 1.
+let probe_min = 1.
+let probe_max = 2.
+let announce_num = 2
+let announce_interval = 2.
+let max_conflicts = 10
+let rate_limit_interval = 60.
+let defend_interval = 10.
+
+let model_parameters () = (probe_num, 0.5 *. (probe_min +. probe_max))
+
+let simulator_config () =
+  { Netsim.Newcomer.probes = probe_num;
+    listen = 0.5 *. (probe_min +. probe_max);
+    listen_jitter = Some (probe_min, probe_max);
+    probe_cost = 0.;
+    error_cost = 0.;
+    immediate_abort = true;
+    rate_limit = Some (max_conflicts, rate_limit_interval);
+    avoid_failed = true;
+    announce = Some (announce_num, announce_interval) }

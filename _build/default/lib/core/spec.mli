@@ -1,0 +1,45 @@
+(** The Internet-draft's protocol constants, verbatim.
+
+    The paper abstracts draft-ietf-zeroconf-ipv4-linklocal into the two
+    parameters [(n, r)]; this module records what the draft actually
+    prescribes (including the randomized inter-probe spacing the model
+    fixes at [r]) and maps it onto the model's and the simulator's
+    parameter spaces. *)
+
+val probe_num : int
+(** 4 — the number of ARP probes. *)
+
+val probe_wait : float
+(** 1 s — initial random delay bound before the first probe. *)
+
+val probe_min : float
+(** 1 s — minimum delay between probes. *)
+
+val probe_max : float
+(** 2 s — maximum delay between probes. *)
+
+val announce_num : int
+(** 2 — ARP announcements after claiming an address. *)
+
+val announce_interval : float
+(** 2 s — between announcements. *)
+
+val max_conflicts : int
+(** 10 — collisions before rate limiting engages. *)
+
+val rate_limit_interval : float
+(** 60 s — the mandated delay between attempts once rate-limited. *)
+
+val defend_interval : float
+(** 10 s — minimum time between defensive ARPs during maintenance. *)
+
+val model_parameters : unit -> int * float
+(** The paper's reading of the draft: [(n, r)] with [n = PROBE_NUM] and
+    [r] the {e mean} inter-probe spacing [(PROBE_MIN + PROBE_MAX) / 2]
+    — which is 1.5 s, though the paper rounds to its [r = 2] worst
+    case.  Returned as [(4, 1.5)]. *)
+
+val simulator_config : unit -> Netsim.Newcomer.config
+(** The draft, faithfully: [PROBE_NUM] probes, spacing jittered
+    uniformly in [\[PROBE_MIN, PROBE_MAX\]], immediate abort, failed
+    addresses avoided, rate limiting after [MAX_CONFLICTS]. *)

@@ -1,0 +1,1 @@
+lib/dist/families.ml: Array Distribution Float List Numerics Printf String

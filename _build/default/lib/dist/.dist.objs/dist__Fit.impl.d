@@ -1,0 +1,1 @@
+lib/dist/fit.ml: Array Distribution Families Float Numerics

@@ -1,0 +1,1 @@
+lib/dist/phase_type.ml: Array Distribution Dtmc Float List Numerics Printf

@@ -1,0 +1,1 @@
+lib/dist/phase_type.mli: Distribution Numerics

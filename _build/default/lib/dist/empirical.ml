@@ -1,0 +1,55 @@
+let of_samples ?(losses = 0) delays =
+  let n = Array.length delays in
+  if n = 0 then invalid_arg "Empirical.of_samples: empty sample";
+  if losses < 0 then invalid_arg "Empirical.of_samples: negative losses";
+  Array.iter
+    (fun d -> if d < 0. then invalid_arg "Empirical.of_samples: negative delay")
+    delays;
+  let sorted = Array.copy delays in
+  Array.sort Float.compare sorted;
+  let total = float_of_int (n + losses) in
+  let mass = float_of_int n /. total in
+  let ecdf_conditional = Numerics.Stats.ecdf sorted in
+  let cdf t = if t < 0. then 0. else mass *. ecdf_conditional t in
+  let mean = Numerics.Safe_float.mean sorted in
+  let sample rng =
+    if losses > 0 && Numerics.Rng.float rng >= mass then None
+    else Some sorted.(Numerics.Rng.int rng n)
+  in
+  Distribution.v
+    ~name:(Printf.sprintf "empirical(n=%d, losses=%d)" n losses)
+    ~mass ~mean ~cdf
+    ~survival:(fun t -> 1. -. cdf t)
+    ~sample ()
+
+let of_censored ~timeout raw =
+  if timeout <= 0. then invalid_arg "Empirical.of_censored: timeout <= 0";
+  let arrived, lost =
+    Array.fold_left
+      (fun (arr, lost) d -> if d >= timeout then (arr, lost + 1) else (d :: arr, lost))
+      ([], 0) raw
+  in
+  match arrived with
+  | [] -> invalid_arg "Empirical.of_censored: every observation censored"
+  | _ -> of_samples ~losses:lost (Array.of_list (List.rev arrived))
+
+let smooth ?bandwidth:_ (d : Distribution.t) =
+  (* Probe the CDF on a fine grid over its active range and replace it
+     by the piecewise-linear interpolant.  The active range is found by
+     scanning for where the CDF saturates. *)
+  let hi =
+    let rec grow t guard =
+      if guard > 60 || d.cdf t >= d.mass -. (1e-9 *. d.mass) then t
+      else grow (t *. 2.) (guard + 1)
+    in
+    grow 1. 0
+  in
+  let xs = Numerics.Grid.linspace 0. hi 513 in
+  let ys = Array.map d.cdf xs in
+  let interp = Numerics.Interp.create ~xs ~ys in
+  let cdf t = if t <= 0. then 0. else Numerics.Interp.eval interp t in
+  Distribution.v
+    ~name:(d.name ^ " smoothed")
+    ~mass:d.mass ?mean:d.mean ~cdf
+    ~survival:(fun t -> 1. -. cdf t)
+    ~sample:d.sample ()

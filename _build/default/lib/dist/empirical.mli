@@ -1,0 +1,26 @@
+(** Delay distributions estimated from measurements.
+
+    The paper (Sec. 3.2): "Preferably, \[F_X\] should be based on
+    measurements."  This module provides that path: feed in observed
+    reply delays — with losses recorded either explicitly or via a
+    timeout cutoff — and obtain a {!Distribution.t} usable everywhere a
+    parametric family is. *)
+
+val of_samples : ?losses:int -> float array -> Distribution.t
+(** [of_samples ~losses delays] builds the empirical distribution of the
+    observed [delays] (all non-negative), treating [losses] additional
+    trials as replies that never arrived, so the resulting mass is
+    [n / (n + losses)].  Sampling draws uniformly from the observations
+    (and loses the reply with the empirical loss rate).  Raises
+    [Invalid_argument] on an empty sample or negative entries. *)
+
+val of_censored : timeout:float -> float array -> Distribution.t
+(** [of_censored ~timeout raw] treats every observation [>= timeout] as
+    a loss — the standard way of logging probe experiments where the
+    prober gives up after [timeout] seconds. *)
+
+val smooth : ?bandwidth:float -> Distribution.t -> Distribution.t
+(** Replace a piecewise-constant empirical CDF by linear interpolation
+    between jump midpoints, removing staircase artifacts from
+    optimization over [r].  [bandwidth] is reserved for future kernel
+    smoothing and currently ignored. *)

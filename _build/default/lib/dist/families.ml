@@ -1,0 +1,168 @@
+module Rng = Numerics.Rng
+
+(* Shared sampling skeleton: lose the reply with probability 1 - mass,
+   otherwise draw from the conditional delay law. *)
+let defective_sample mass conditional rng =
+  if mass < 1. && Rng.float rng >= mass then None else Some (conditional rng)
+
+let exponential ?(mass = 1.) ~rate () =
+  if rate <= 0. then invalid_arg "Families.exponential: rate <= 0";
+  let survival t = if t <= 0. then 1. else (1. -. mass) +. (mass *. exp (-.rate *. t)) in
+  Distribution.v ~name:(Printf.sprintf "exp(rate=%g)" rate) ~mass
+    ~density:(fun t -> if t < 0. then 0. else mass *. rate *. exp (-.rate *. t))
+    ~mean:(1. /. rate)
+    ~cdf:(fun t -> if t <= 0. then 0. else mass *. (-.Float.expm1 (-.rate *. t)))
+    ~survival
+    ~sample:(defective_sample mass (fun rng -> Rng.exponential rng ~rate))
+    ()
+
+let shifted_exponential ?(mass = 1.) ~rate ~delay () =
+  if rate <= 0. then invalid_arg "Families.shifted_exponential: rate <= 0";
+  if delay < 0. then invalid_arg "Families.shifted_exponential: delay < 0";
+  let cdf t =
+    if t <= delay then 0. else mass *. (-.Float.expm1 (-.rate *. (t -. delay)))
+  in
+  let survival t =
+    if t <= delay then 1. else (1. -. mass) +. (mass *. exp (-.rate *. (t -. delay)))
+  in
+  Distribution.v
+    ~name:(Printf.sprintf "shifted-exp(d=%g, rate=%g, l=%g)" delay rate mass)
+    ~mass
+    ~density:(fun t ->
+      if t < delay then 0. else mass *. rate *. exp (-.rate *. (t -. delay)))
+    ~mean:(delay +. (1. /. rate))
+    ~cdf ~survival
+    ~sample:(defective_sample mass (fun rng -> delay +. Rng.exponential rng ~rate))
+    ()
+
+let deterministic ?(mass = 1.) ~delay () =
+  if delay < 0. then invalid_arg "Families.deterministic: delay < 0";
+  Distribution.v ~name:(Printf.sprintf "deterministic(d=%g)" delay) ~mass
+    ~mean:delay
+    ~cdf:(fun t -> if t >= delay then mass else 0.)
+    ~survival:(fun t -> if t >= delay then 1. -. mass else 1.)
+    ~sample:(defective_sample mass (fun _ -> delay))
+    ()
+
+let uniform ?(mass = 1.) ~lo ~hi () =
+  if lo < 0. || hi <= lo then invalid_arg "Families.uniform: need 0 <= lo < hi";
+  let width = hi -. lo in
+  let cdf t =
+    if t <= lo then 0.
+    else if t >= hi then mass
+    else mass *. (t -. lo) /. width
+  in
+  Distribution.v ~name:(Printf.sprintf "uniform[%g, %g]" lo hi) ~mass
+    ~density:(fun t -> if t < lo || t > hi then 0. else mass /. width)
+    ~mean:(0.5 *. (lo +. hi))
+    ~cdf
+    ~survival:(fun t -> 1. -. cdf t)
+    ~sample:(defective_sample mass (fun rng -> Rng.uniform rng ~lo ~hi))
+    ()
+
+let weibull ?(mass = 1.) ?(delay = 0.) ~shape ~scale () =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Families.weibull: shape and scale must be positive";
+  if delay < 0. then invalid_arg "Families.weibull: delay < 0";
+  let z t = ((t -. delay) /. scale) ** shape in
+  let cdf t = if t <= delay then 0. else mass *. (-.Float.expm1 (-.z t)) in
+  let survival t =
+    if t <= delay then 1. else (1. -. mass) +. (mass *. exp (-.z t))
+  in
+  let density t =
+    if t <= delay then 0.
+    else
+      let u = (t -. delay) /. scale in
+      mass *. (shape /. scale) *. (u ** (shape -. 1.)) *. exp (-.(u ** shape))
+  in
+  let conditional rng =
+    delay +. (scale *. ((-.Float.log1p (-.Rng.float rng)) ** (1. /. shape)))
+  in
+  Distribution.v
+    ~name:(Printf.sprintf "weibull(k=%g, scale=%g, d=%g)" shape scale delay)
+    ~mass ~density ~cdf ~survival
+    ~sample:(defective_sample mass conditional)
+    ()
+
+let erlang ?(mass = 1.) ?(delay = 0.) ~stages ~rate () =
+  if stages < 1 then invalid_arg "Families.erlang: stages < 1";
+  if rate <= 0. then invalid_arg "Families.erlang: rate <= 0";
+  if delay < 0. then invalid_arg "Families.erlang: delay < 0";
+  (* Survival of Erlang-k: e^{-rt} * sum_{i<k} (rt)^i / i!, summed in
+     increasing order so the partial sums stay accurate. *)
+  let core_survival u =
+    if u <= 0. then 1.
+    else begin
+      let x = rate *. u in
+      let term = ref 1. and acc = ref 1. in
+      for i = 1 to stages - 1 do
+        term := !term *. x /. float_of_int i;
+        acc := !acc +. !term
+      done;
+      exp (-.x) *. !acc
+    end
+  in
+  let survival t =
+    if t <= delay then 1.
+    else (1. -. mass) +. (mass *. core_survival (t -. delay))
+  in
+  let cdf t = if t <= delay then 0. else mass *. (1. -. core_survival (t -. delay)) in
+  let density t =
+    if t <= delay then 0.
+    else begin
+      let u = t -. delay in
+      let x = rate *. u in
+      (* rate * x^(k-1) e^{-x} / (k-1)! *)
+      let log_fact = ref 0. in
+      for i = 2 to stages - 1 do
+        log_fact := !log_fact +. log (float_of_int i)
+      done;
+      mass *. rate *. exp ((float_of_int (stages - 1) *. log x) -. x -. !log_fact)
+    end
+  in
+  let conditional rng =
+    let acc = ref delay in
+    for _ = 1 to stages do
+      acc := !acc +. Rng.exponential rng ~rate
+    done;
+    !acc
+  in
+  Distribution.v
+    ~name:(Printf.sprintf "erlang(k=%d, rate=%g, d=%g)" stages rate delay)
+    ~mass ~density
+    ~mean:(delay +. (float_of_int stages /. rate))
+    ~cdf ~survival
+    ~sample:(defective_sample mass conditional)
+    ()
+
+let mixture components =
+  if components = [] then invalid_arg "Families.mixture: empty mixture";
+  List.iter
+    (fun (w, _) -> if w <= 0. then invalid_arg "Families.mixture: weight <= 0")
+    components;
+  let total = Numerics.Safe_float.sum_list (List.map fst components) in
+  let weighted = List.map (fun (w, d) -> (w /. total, d)) components in
+  let mass =
+    Numerics.Safe_float.sum_list
+      (List.map (fun (w, (d : Distribution.t)) -> w *. d.mass) weighted)
+  in
+  let combine f t =
+    Numerics.Safe_float.sum_list
+      (List.map (fun (w, d) -> w *. f d t) weighted)
+  in
+  let sample rng =
+    let weights = Array.of_list (List.map fst weighted) in
+    let picked = Numerics.Rng.choose_weighted rng weights in
+    let _, (d : Distribution.t) = List.nth weighted picked in
+    d.sample rng
+  in
+  let name =
+    String.concat " + "
+      (List.map
+         (fun (w, (d : Distribution.t)) -> Printf.sprintf "%.2f*%s" w d.name)
+         weighted)
+  in
+  Distribution.v ~name ~mass
+    ~cdf:(combine (fun (d : Distribution.t) -> d.cdf))
+    ~survival:(combine (fun (d : Distribution.t) -> d.survival))
+    ~sample ()

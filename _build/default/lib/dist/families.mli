@@ -1,0 +1,42 @@
+(** Parametric delay-distribution families.
+
+    {!shifted_exponential} is the paper's choice (Sec. 4.3):
+    [F_X(t) = l (1 - e^(-lambda (t - d)))] for [t >= d], i.e. a hard
+    round-trip delay [d], exponential tail with rate [lambda], and a
+    permanent-loss probability [1 - l].  The others give alternative
+    tail shapes for sensitivity studies, all supporting the same
+    defectiveness and shift parameters. *)
+
+val exponential : ?mass:float -> rate:float -> unit -> Distribution.t
+(** Memoryless delay with the given rate. *)
+
+val shifted_exponential :
+  ?mass:float -> rate:float -> delay:float -> unit -> Distribution.t
+(** The paper's [F_X]: zero probability before the round-trip delay
+    [delay] ([d] in the paper), exponential with [rate] ([lambda])
+    after it, total mass [mass] ([l], default [1.]).  Conditional mean
+    is [delay + 1/rate], matching the paper's "[d + 1/lambda]". *)
+
+val deterministic : ?mass:float -> delay:float -> unit -> Distribution.t
+(** Replies arrive exactly [delay] seconds after the probe (or never,
+    with probability [1 - mass]). *)
+
+val uniform : ?mass:float -> lo:float -> hi:float -> unit -> Distribution.t
+(** Delay uniform on [\[lo, hi\]]. *)
+
+val weibull :
+  ?mass:float -> ?delay:float -> shape:float -> scale:float -> unit ->
+  Distribution.t
+(** Weibull delay shifted by [delay]; [shape < 1] gives heavy tails
+    (bursty congestion), [shape > 1] light tails. *)
+
+val erlang :
+  ?mass:float -> ?delay:float -> stages:int -> rate:float -> unit ->
+  Distribution.t
+(** Erlang-[stages] delay (sum of [stages] exponentials): concentrates
+    around [stages/rate], modelling multi-hop store-and-forward. *)
+
+val mixture : (float * Distribution.t) list -> Distribution.t
+(** Finite mixture; weights must be positive and are normalized.  The
+    mixture's mass is the weighted mass of its components.  Raises
+    [Invalid_argument] on an empty list. *)

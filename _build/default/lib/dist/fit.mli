@@ -1,0 +1,46 @@
+(** Fitting delay distributions to measurements — the workflow the
+    paper prescribes but could not execute ("Preferably, \[F_X\] should
+    be based on measurements", Sec. 3.2).
+
+    Measurements are reply delays with losses recorded either
+    explicitly (count of probes that never got an answer) or as
+    timeouts.  The fitted object is the paper's defective shifted
+    exponential, or a moment-matched Erlang / phase-type alternative. *)
+
+type shifted_exp = {
+  loss : float;   (** [1 - l]. *)
+  delay : float;  (** Round-trip floor [d]. *)
+  rate : float;   (** Tail rate [lambda]. *)
+}
+
+val shifted_exponential_mle :
+  ?losses:int -> float array -> shifted_exp
+(** Maximum likelihood for the defective shifted exponential:
+    [loss = losses / (n + losses)], [d = min sample] (the MLE of a
+    shift), [lambda = 1 / (mean - d)].  Raises [Invalid_argument] on an
+    empty sample. *)
+
+val to_distribution : shifted_exp -> Distribution.t
+
+val erlang_moment_match :
+  ?losses:int -> float array -> Distribution.t
+(** Match mean and variance with an Erlang: the stage count is
+    [round (mean^2 / variance)] clamped to [1, 64], the rate is
+    [stages / mean].  Good for unimodal delays without a hard floor. *)
+
+val shifted_exponential_nm :
+  ?losses:int -> float array -> shifted_exp
+(** Same family as {!shifted_exponential_mle} but fitted by minimizing
+    the negative log-likelihood with Nelder–Mead — a cross-check of the
+    closed form, and the template for families without closed-form
+    MLEs.  Agrees with the MLE (property-tested). *)
+
+type quality = {
+  ks_statistic : float;
+      (** Kolmogorov–Smirnov distance between the fitted conditional
+          CDF and the empirical one. *)
+  log_likelihood : float;
+}
+
+val assess : ?losses:int -> Distribution.t -> float array -> quality
+(** Fit quality of any candidate distribution on the sample. *)

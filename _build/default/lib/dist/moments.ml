@@ -1,0 +1,19 @@
+(* survival of the arrival-conditioned distribution:
+   (S(t) - (1 - l)) / l, which decays to zero *)
+let conditional_survival (d : Distribution.t) t =
+  Float.max 0. ((d.Distribution.survival t -. (1. -. d.Distribution.mass)))
+  /. d.Distribution.mass
+
+let conditional_mean ?(tol = 1e-10) d =
+  Numerics.Integrate.to_infinity ~tol ~f:(conditional_survival d) 0.
+
+let conditional_second_moment ?(tol = 1e-10) d =
+  Numerics.Integrate.to_infinity ~tol
+    ~f:(fun t -> 2. *. t *. conditional_survival d t)
+    0.
+
+let conditional_variance ?tol d =
+  let m = conditional_mean ?tol d in
+  Float.max 0. (conditional_second_moment ?tol d -. (m *. m))
+
+let conditional_std ?tol d = sqrt (conditional_variance ?tol d)

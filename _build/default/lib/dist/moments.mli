@@ -1,0 +1,20 @@
+(** Numeric moments of delay distributions, from their survival
+    functions.
+
+    For a non-negative variable, [E X = integral of S] and
+    [E X^2 = integral of 2 t S(t)].  For a defective distribution these
+    integrals diverge (the survival floors at [1 - l]), so moments here
+    are {e conditional on arrival}: computed on [S(t) - (1 - l)],
+    rescaled by the mass — exactly the "mean time a reply is received
+    ... assuming that the reply does not get lost" convention the paper
+    uses for [d + 1/lambda]. *)
+
+val conditional_mean : ?tol:float -> Distribution.t -> float
+(** Mean delay given that the reply arrives.  Agrees with the closed
+    form stored in the distribution when there is one (property-tested). *)
+
+val conditional_second_moment : ?tol:float -> Distribution.t -> float
+
+val conditional_variance : ?tol:float -> Distribution.t -> float
+
+val conditional_std : ?tol:float -> Distribution.t -> float

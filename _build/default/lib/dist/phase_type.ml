@@ -1,0 +1,167 @@
+module M = Numerics.Matrix
+
+let validate ~alpha ~sub_generator =
+  let m = Array.length alpha in
+  if m = 0 then invalid_arg "Phase_type.create: no phases";
+  if M.rows sub_generator <> m || M.cols sub_generator <> m then
+    invalid_arg "Phase_type.create: alpha/sub-generator size mismatch";
+  Array.iter
+    (fun a -> if a < 0. then invalid_arg "Phase_type.create: negative alpha entry")
+    alpha;
+  let alpha_sum = Numerics.Safe_float.sum alpha in
+  if alpha_sum > 1. +. 1e-12 then
+    invalid_arg "Phase_type.create: alpha mass exceeds one";
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j && M.get sub_generator i j < 0. then
+        invalid_arg "Phase_type.create: negative off-diagonal rate"
+    done;
+    if Numerics.Safe_float.sum (M.row sub_generator i) > 1e-12 then
+      invalid_arg "Phase_type.create: positive row sum in sub-generator"
+  done;
+  alpha_sum
+
+(* full generator over m phases + 1 absorbing state *)
+let full_ctmc ~alpha ~sub_generator =
+  let m = Array.length alpha in
+  let labels = List.init (m + 1) (fun i -> if i = m then "done" else Printf.sprintf "ph%d" i) in
+  let q =
+    M.init ~rows:(m + 1) ~cols:(m + 1) (fun i j ->
+        if i = m then 0.
+        else if j = m then -.Numerics.Safe_float.sum (M.row sub_generator i)
+        else M.get sub_generator i j)
+  in
+  Dtmc.Ctmc.create ~states:(Dtmc.State_space.of_labels labels) q
+
+let create ?(mass = 1.) ~alpha ~sub_generator () =
+  let alpha_sum = validate ~alpha ~sub_generator in
+  let m = Array.length alpha in
+  let ctmc = full_ctmc ~alpha ~sub_generator in
+  (* absorption must be certain: every phase's expected absorption time
+     must be finite *)
+  for i = 0 to m - 1 do
+    ignore (Dtmc.Ctmc.expected_absorption_time ctmc ~from:i)
+  done;
+  let pi0 =
+    Array.init (m + 1) (fun i -> if i = m then 1. -. alpha_sum else alpha.(i))
+  in
+  (* conditional absorption probability by time t *)
+  let absorbed t =
+    if t <= 0. then 1. -. alpha_sum
+    else (Dtmc.Ctmc.transient ctmc ~horizon:t pi0).(m)
+  in
+  let phase_mass t =
+    if t <= 0. then alpha_sum
+    else begin
+      let pi = Dtmc.Ctmc.transient ctmc ~horizon:t pi0 in
+      Numerics.Safe_float.sum (Array.sub pi 0 m)
+    end
+  in
+  let cdf t = if t < 0. then 0. else mass *. absorbed t in
+  let survival t = if t < 0. then 1. else (1. -. mass) +. (mass *. phase_mass t) in
+  (* conditional mean: alpha . (-T)^{-1} 1 *)
+  let mean =
+    let a =
+      Array.init m (fun i -> Dtmc.Ctmc.expected_absorption_time ctmc ~from:i)
+    in
+    Numerics.Safe_float.dot alpha a
+  in
+  (* sampling: jump simulation over the phases *)
+  let exit_rate i = -.Numerics.Safe_float.sum (M.row sub_generator i) in
+  let total_rate i = Float.abs (M.get sub_generator i i) in
+  let sample rng =
+    if mass < 1. && Numerics.Rng.float rng >= mass then None
+    else begin
+      (* initial phase, or instant absorption on the alpha deficit *)
+      let u = Numerics.Rng.float rng in
+      let rec pick i acc =
+        if i >= m then None (* deficit: absorbed immediately *)
+        else
+          let acc = acc +. alpha.(i) in
+          if u < acc then Some i else pick (i + 1) acc
+      in
+      match pick 0 0. with
+      | None -> Some 0.
+      | Some start ->
+          let time = ref 0. in
+          let phase = ref start in
+          let absorbed = ref false in
+          while not !absorbed do
+            let rate = total_rate !phase in
+            time := !time +. Numerics.Rng.exponential rng ~rate;
+            (* choose exit vs another phase *)
+            let u = Numerics.Rng.float rng *. rate in
+            if u < exit_rate !phase then absorbed := true
+            else begin
+              let rec pick_phase j acc =
+                if j >= m then !phase (* numeric slack: stay *)
+                else if j = !phase then pick_phase (j + 1) acc
+                else
+                  let acc = acc +. M.get sub_generator !phase j in
+                  if u < exit_rate !phase +. acc then j else pick_phase (j + 1) acc
+              in
+              phase := pick_phase 0 0.
+            end
+          done;
+          Some !time
+    end
+  in
+  Distribution.v
+    ~name:(Printf.sprintf "phase-type(%d phases)" m)
+    ~mass ~mean ~cdf ~survival ~sample ()
+
+let exponential ?mass ~rate () =
+  if rate <= 0. then invalid_arg "Phase_type.exponential: rate <= 0";
+  create ?mass ~alpha:[| 1. |]
+    ~sub_generator:(M.of_arrays [| [| -.rate |] |])
+    ()
+
+let erlang ?mass ~stages ~rate () =
+  if stages < 1 then invalid_arg "Phase_type.erlang: stages < 1";
+  if rate <= 0. then invalid_arg "Phase_type.erlang: rate <= 0";
+  let t =
+    M.init ~rows:stages ~cols:stages (fun i j ->
+        if i = j then -.rate
+        else if j = i + 1 then rate
+        else 0.)
+  in
+  let alpha = Array.init stages (fun i -> if i = 0 then 1. else 0.) in
+  create ?mass ~alpha ~sub_generator:t ()
+
+let hyperexponential ?mass branches =
+  if branches = [] then invalid_arg "Phase_type.hyperexponential: empty";
+  List.iter
+    (fun (w, rate) ->
+      if w <= 0. || rate <= 0. then
+        invalid_arg "Phase_type.hyperexponential: non-positive weight or rate")
+    branches;
+  let total = Numerics.Safe_float.sum_list (List.map fst branches) in
+  let arr = Array.of_list branches in
+  let m = Array.length arr in
+  let alpha = Array.map (fun (w, _) -> w /. total) arr in
+  let t =
+    M.init ~rows:m ~cols:m (fun i j -> if i = j then -.snd arr.(i) else 0.)
+  in
+  create ?mass ~alpha ~sub_generator:t ()
+
+let coxian ?mass ~rates ~continue_probs () =
+  let m = Array.length rates in
+  if m = 0 then invalid_arg "Phase_type.coxian: no phases";
+  if Array.length continue_probs <> m - 1 then
+    invalid_arg "Phase_type.coxian: continue_probs must have one entry fewer than rates";
+  Array.iter
+    (fun r -> if r <= 0. then invalid_arg "Phase_type.coxian: rate <= 0")
+    rates;
+  Array.iter
+    (fun p ->
+      if not (Numerics.Safe_float.is_probability p) then
+        invalid_arg "Phase_type.coxian: continue prob outside [0,1]")
+    continue_probs;
+  let t =
+    M.init ~rows:m ~cols:m (fun i j ->
+        if i = j then -.rates.(i)
+        else if j = i + 1 && i < m - 1 then rates.(i) *. continue_probs.(i)
+        else 0.)
+  in
+  let alpha = Array.init m (fun i -> if i = 0 then 1. else 0.) in
+  create ?mass ~alpha ~sub_generator:t ()

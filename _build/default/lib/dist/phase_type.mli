@@ -1,0 +1,39 @@
+(** Phase-type reply-delay distributions: absorption times of small
+    continuous-time Markov chains.
+
+    Phase-type laws are dense in the distributions on [\[0, inf)], so
+    they are the natural fitting family for measured reply delays when
+    a closed form is wanted; and because our CTMC solver computes their
+    CDFs by uniformization, they compose with everything else in the
+    toolbox (defectiveness mass, the cost model, the simulator).
+
+    A PH distribution is given by an initial probability row [alpha]
+    over [m] transient phases and an [m x m] sub-generator [T] (strictly
+    dominated rows); the exit-rate vector is [t0 = -T 1]. *)
+
+val create :
+  ?mass:float -> alpha:float array -> sub_generator:Numerics.Matrix.t ->
+  unit -> Distribution.t
+(** Validates that [alpha] is a sub-distribution (its deficit is an
+    atom at zero), [T] has non-negative off-diagonal rates and
+    non-positive row sums, and absorption is certain.  [mass] adds the
+    usual permanent-loss defect on top. *)
+
+val exponential : ?mass:float -> rate:float -> unit -> Distribution.t
+(** PH with a single phase — must agree with
+    {!Families.exponential} (property-tested). *)
+
+val erlang : ?mass:float -> stages:int -> rate:float -> unit -> Distribution.t
+(** The [stages]-phase chain — must agree with {!Families.erlang}. *)
+
+val hyperexponential :
+  ?mass:float -> (float * float) list -> Distribution.t
+(** Mixture of exponentials [(weight, rate)]: the classic model for
+    bimodal reply delays (fast local replies vs slow busy hosts). *)
+
+val coxian :
+  ?mass:float -> rates:float array -> continue_probs:float array -> unit ->
+  Distribution.t
+(** Coxian chain: phase [i] completes at [rates.(i)] and then continues
+    to phase [i+1] with [continue_probs.(i)] (else absorbs).
+    [continue_probs] has one entry fewer than [rates]. *)

@@ -1,0 +1,1 @@
+lib/dtmc/absorbing.ml: Array Chain Float Fun List Numerics Printf Reward State_space

@@ -1,0 +1,1 @@
+lib/dtmc/absorbing.mli: Chain Numerics Reward

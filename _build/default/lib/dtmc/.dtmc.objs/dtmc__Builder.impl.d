@@ -1,0 +1,1 @@
+lib/dtmc/builder.ml: Array Chain Hashtbl List Numerics Option Printf Reward State_space

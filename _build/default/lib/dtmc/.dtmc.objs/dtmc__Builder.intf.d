@@ -1,0 +1,1 @@
+lib/dtmc/builder.mli: Chain Reward

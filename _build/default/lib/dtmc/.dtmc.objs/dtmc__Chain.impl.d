@@ -1,0 +1,1 @@
+lib/dtmc/chain.ml: Array Float Format Fun List Numerics Printf State_space

@@ -1,0 +1,1 @@
+lib/dtmc/chain.mli: Format Numerics State_space

@@ -1,0 +1,1 @@
+lib/dtmc/ctmc.ml: Array Chain Float Fun List Numerics Printf State_space

@@ -1,0 +1,1 @@
+lib/dtmc/ctmc.mli: Chain Numerics State_space

@@ -1,0 +1,1 @@
+lib/dtmc/export.ml: Buffer Chain Fun List Printf Reward State_space

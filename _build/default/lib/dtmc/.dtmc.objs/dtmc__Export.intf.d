@@ -1,0 +1,1 @@
+lib/dtmc/export.mli: Chain Reward

@@ -1,0 +1,1 @@
+lib/dtmc/hitting.ml: Array Chain Fun List Numerics Reachability Reward

@@ -1,0 +1,1 @@
+lib/dtmc/hitting.mli: Chain Numerics Reward

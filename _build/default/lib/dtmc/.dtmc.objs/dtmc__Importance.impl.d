@@ -1,0 +1,1 @@
+lib/dtmc/importance.ml: Array Chain Float List Numerics Printf Queue

@@ -1,0 +1,1 @@
+lib/dtmc/importance.mli: Chain Numerics

@@ -1,0 +1,1 @@
+lib/dtmc/lumping.ml: Array Chain Fun Hashtbl List Numerics Option State_space String

@@ -1,0 +1,1 @@
+lib/dtmc/lumping.mli: Chain

@@ -1,0 +1,1 @@
+lib/dtmc/mdp.ml: Array Float Fun List Numerics Printf

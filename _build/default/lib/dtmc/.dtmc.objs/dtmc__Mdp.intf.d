@@ -1,0 +1,1 @@
+lib/dtmc/mdp.mli:

@@ -1,0 +1,1 @@
+lib/dtmc/pctl.ml: Array Chain Float Fun Hitting List Numerics Reward State_space

@@ -1,0 +1,1 @@
+lib/dtmc/pctl.mli: Chain Numerics Reward

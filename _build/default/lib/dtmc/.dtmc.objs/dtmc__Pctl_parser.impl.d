@@ -1,0 +1,1 @@
+lib/dtmc/pctl_parser.ml: List Pctl Printf String

@@ -1,0 +1,1 @@
+lib/dtmc/pctl_parser.mli: Pctl

@@ -1,0 +1,1 @@
+lib/dtmc/reachability.ml: Array Chain Fun List Numerics

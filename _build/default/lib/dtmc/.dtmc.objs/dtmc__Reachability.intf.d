@@ -1,0 +1,1 @@
+lib/dtmc/reachability.mli: Chain Numerics

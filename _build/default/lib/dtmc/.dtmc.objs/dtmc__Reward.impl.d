@@ -1,0 +1,1 @@
+lib/dtmc/reward.ml: Array Chain List Numerics Printf

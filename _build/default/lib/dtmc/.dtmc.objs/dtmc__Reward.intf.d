@@ -1,0 +1,1 @@
+lib/dtmc/reward.mli: Chain Numerics

@@ -1,0 +1,1 @@
+lib/dtmc/scc.ml: Array Chain Fun List

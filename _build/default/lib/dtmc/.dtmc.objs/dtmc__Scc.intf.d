@@ -1,0 +1,1 @@
+lib/dtmc/scc.mli: Chain

@@ -1,0 +1,1 @@
+lib/dtmc/semi_markov.ml: Absorbing Array Chain List Numerics Reward

@@ -1,0 +1,1 @@
+lib/dtmc/semi_markov.mli: Chain

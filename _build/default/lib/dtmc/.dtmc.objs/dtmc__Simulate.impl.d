@@ -1,0 +1,1 @@
+lib/dtmc/simulate.ml: Array Chain List Numerics Reward

@@ -1,0 +1,1 @@
+lib/dtmc/simulate.mli: Chain Numerics Reward

@@ -1,0 +1,1 @@
+lib/dtmc/sparse.ml: Array Float Hashtbl List Numerics Option

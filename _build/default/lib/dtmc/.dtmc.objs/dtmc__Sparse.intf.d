@@ -1,0 +1,1 @@
+lib/dtmc/sparse.mli: Numerics

@@ -1,0 +1,1 @@
+lib/dtmc/state_space.mli: Format

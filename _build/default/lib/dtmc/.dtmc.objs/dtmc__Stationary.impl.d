@@ -1,0 +1,1 @@
+lib/dtmc/stationary.ml: Array Chain Numerics

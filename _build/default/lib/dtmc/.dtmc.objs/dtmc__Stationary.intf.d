@@ -1,0 +1,1 @@
+lib/dtmc/stationary.mli: Chain Numerics

@@ -1,0 +1,1 @@
+lib/dtmc/transient.ml: Array Chain List Numerics Reward

@@ -1,0 +1,1 @@
+lib/dtmc/transient.mli: Chain Numerics Reward

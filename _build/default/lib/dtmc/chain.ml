@@ -1,0 +1,83 @@
+module Matrix = Numerics.Matrix
+
+type t = { states : State_space.t; p : Matrix.t }
+
+let create ?(tol = 1e-9) ~states p =
+  let n = State_space.size states in
+  if Matrix.rows p <> n || Matrix.cols p <> n then
+    invalid_arg "Chain.create: matrix does not match state space";
+  let normalized = Matrix.copy p in
+  for i = 0 to n - 1 do
+    let row_sum = ref 0. in
+    for j = 0 to n - 1 do
+      let v = Matrix.get p i j in
+      if v < -.tol || Float.is_nan v then
+        invalid_arg
+          (Printf.sprintf "Chain.create: negative probability at (%d, %d)" i j);
+      row_sum := !row_sum +. Float.max 0. v
+    done;
+    if Float.abs (!row_sum -. 1.) > tol then
+      invalid_arg
+        (Printf.sprintf "Chain.create: row %d (%s) sums to %.12g" i
+           (State_space.label states i) !row_sum);
+    for j = 0 to n - 1 do
+      Matrix.set normalized i j (Float.max 0. (Matrix.get p i j) /. !row_sum)
+    done
+  done;
+  { states; p = normalized }
+
+let states t = t.states
+let size t = State_space.size t.states
+let matrix t = t.p
+let prob t i j = Matrix.get t.p i j
+
+let prob_by_label t a b =
+  prob t (State_space.index t.states a) (State_space.index t.states b)
+
+let successors t i =
+  let out = ref [] in
+  for j = size t - 1 downto 0 do
+    let p = prob t i j in
+    if p > 0. then out := (j, p) :: !out
+  done;
+  !out
+
+let is_absorbing t i = prob t i i = 1.
+
+let absorbing_states t =
+  List.filter (is_absorbing t) (List.init (size t) Fun.id)
+
+let reachable t ~from =
+  let n = size t in
+  let seen = Array.make n false in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter (fun (j, _) -> dfs j) (successors t i)
+    end
+  in
+  dfs from;
+  seen
+
+let transient_states t =
+  let absorbing = absorbing_states t in
+  List.filter
+    (fun i ->
+      (not (is_absorbing t i))
+      &&
+      let r = reachable t ~from:i in
+      List.exists (fun a -> r.(a)) absorbing)
+    (List.init (size t) Fun.id)
+
+let pp ppf t =
+  let n = size t in
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "%s ->" (State_space.label t.states i);
+    List.iter
+      (fun (j, p) ->
+        Format.fprintf ppf " %s:%g" (State_space.label t.states j) p)
+      (successors t i);
+    if i < n - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

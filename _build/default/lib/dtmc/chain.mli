@@ -1,0 +1,37 @@
+(** Discrete-time Markov chains over a labelled state space. *)
+
+module Matrix = Numerics.Matrix
+
+type t
+(** A validated DTMC: square transition matrix whose rows sum to one. *)
+
+val create : ?tol:float -> states:State_space.t -> Matrix.t -> t
+(** Validates shape, non-negativity, and row sums within [tol] (default
+    [1e-9]); rows are then renormalized exactly.  Raises
+    [Invalid_argument] on violation. *)
+
+val states : t -> State_space.t
+val size : t -> int
+val matrix : t -> Matrix.t
+(** The (renormalized) transition matrix; do not mutate. *)
+
+val prob : t -> int -> int -> float
+(** One-step transition probability by index. *)
+
+val prob_by_label : t -> string -> string -> float
+
+val successors : t -> int -> (int * float) list
+(** Outgoing transitions with positive probability. *)
+
+val is_absorbing : t -> int -> bool
+(** True when the state loops to itself with probability one. *)
+
+val absorbing_states : t -> int list
+val transient_states : t -> int list
+(** States from which an absorbing state is reachable.  For absorbing
+    chains this is the complement of {!absorbing_states}. *)
+
+val reachable : t -> from:int -> bool array
+(** Graph reachability (positive-probability paths). *)
+
+val pp : Format.formatter -> t -> unit

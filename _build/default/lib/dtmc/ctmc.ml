@@ -1,0 +1,120 @@
+module M = Numerics.Matrix
+
+type t = { states : State_space.t; q : M.t }
+
+let create ~states q =
+  let n = State_space.size states in
+  if M.rows q <> n || M.cols q <> n then
+    invalid_arg "Ctmc.create: generator does not match state space";
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && M.get q i j < -1e-12 then
+        invalid_arg "Ctmc.create: negative off-diagonal rate"
+    done;
+    let row_sum = Numerics.Safe_float.sum (M.row q i) in
+    if Float.abs row_sum > 1e-9 then
+      invalid_arg
+        (Printf.sprintf "Ctmc.create: row %d sums to %g (want 0)" i row_sum)
+  done;
+  { states; q = M.copy q }
+
+let size t = State_space.size t.states
+let states t = t.states
+let rate t i j = M.get t.q i j
+let is_absorbing t i = Float.abs (M.get t.q i i) <= 1e-12
+
+let uniformization_rate t =
+  let lam = ref 0. in
+  for i = 0 to size t - 1 do
+    lam := Float.max !lam (Float.abs (M.get t.q i i))
+  done;
+  !lam
+
+let embedded t =
+  let n = size t in
+  let p = M.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    if is_absorbing t i then M.set p i i 1.
+    else begin
+      let out = Float.abs (M.get t.q i i) in
+      for j = 0 to n - 1 do
+        if j <> i then M.set p i j (Float.max 0. (M.get t.q i j) /. out)
+      done
+    end
+  done;
+  Chain.create ~states:t.states p
+
+let transient t ~horizon pi0 =
+  if horizon < 0. then invalid_arg "Ctmc.transient: negative horizon";
+  let n = size t in
+  if Array.length pi0 <> n then invalid_arg "Ctmc.transient: dimension mismatch";
+  let lam = uniformization_rate t in
+  if lam = 0. || horizon = 0. then Array.copy pi0
+  else begin
+    (* uniformized DTMC: P = I + Q / lam *)
+    let p =
+      M.init ~rows:n ~cols:n (fun i j ->
+          (if i = j then 1. else 0.) +. (M.get t.q i j /. lam))
+    in
+    let mu = lam *. horizon in
+    (* Poisson(mu) weights maintained incrementally in log space *)
+    let acc = Array.make n 0. in
+    let v = ref (Array.copy pi0) in
+    let cumulative = ref 0. in
+    let k = ref 0 in
+    let log_weight = ref (-.mu) in
+    (* iterate until the Poisson tail is negligible; bound iterations *)
+    let max_k = 64 + int_of_float (mu +. (12. *. sqrt (mu +. 1.))) in
+    while !cumulative < 1. -. 1e-13 && !k <= max_k do
+      let w = exp !log_weight in
+      if w > 0. then begin
+        Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (w *. vi)) !v;
+        cumulative := !cumulative +. w
+      end;
+      v := M.vec_mul !v p;
+      incr k;
+      log_weight := !log_weight +. log mu -. log (float_of_int !k)
+    done;
+    (* distribute any neglected tail proportionally to the last vector,
+       keeping acc a distribution when pi0 was one *)
+    let missing = 1. -. !cumulative in
+    if missing > 0. then
+      Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (missing *. vi)) !v;
+    acc
+  end
+
+let absorption_cdf t ~from horizon =
+  let n = size t in
+  if from < 0 || from >= n then invalid_arg "Ctmc.absorption_cdf: bad state";
+  let pi0 = Array.make n 0. in
+  pi0.(from) <- 1.;
+  let pi = transient t ~horizon pi0 in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    if is_absorbing t i then acc := !acc +. pi.(i)
+  done;
+  Numerics.Safe_float.clamp_probability !acc
+
+let expected_absorption_time t ~from =
+  let n = size t in
+  if from < 0 || from >= n then
+    invalid_arg "Ctmc.expected_absorption_time: bad state";
+  if is_absorbing t from then 0.
+  else begin
+    let transient_states =
+      Array.of_list
+        (List.filter (fun i -> not (is_absorbing t i)) (List.init n Fun.id))
+    in
+    let pos = Array.make n (-1) in
+    Array.iteri (fun p i -> pos.(i) <- p) transient_states;
+    let m = Array.length transient_states in
+    let sub =
+      M.init ~rows:m ~cols:m (fun a b ->
+          M.get t.q transient_states.(a) transient_states.(b))
+    in
+    let minus_one = Array.make m (-1.) in
+    match Numerics.Lu.solve sub minus_one with
+    | a -> a.(pos.(from))
+    | exception Numerics.Lu.Singular ->
+        invalid_arg "Ctmc.expected_absorption_time: absorption not certain"
+  end

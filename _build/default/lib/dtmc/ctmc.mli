@@ -1,0 +1,41 @@
+(** Continuous-time Markov chains, analysed by uniformization.
+
+    The discrete DRM of the paper quantizes time into listening
+    periods; a CTMC view supports the continuous side of the toolbox —
+    in particular phase-type reply-delay distributions
+    ({!Dist.Phase_type}), whose CDFs are transient absorption
+    probabilities of small CTMCs. *)
+
+type t
+
+val create : states:State_space.t -> Numerics.Matrix.t -> t
+(** From a generator matrix [Q]: off-diagonal entries are non-negative
+    rates, every row sums to zero (a row of zeros is an absorbing
+    state).  Raises [Invalid_argument] on violations beyond [1e-9]
+    tolerance. *)
+
+val size : t -> int
+val states : t -> State_space.t
+val rate : t -> int -> int -> float
+val is_absorbing : t -> int -> bool
+
+val uniformization_rate : t -> float
+(** [max_i |Q_ii|], the Poisson rate of the uniformized jump process. *)
+
+val embedded : t -> Chain.t
+(** The jump chain: transition probabilities [-Q_ij / Q_ii] (absorbing
+    states keep their self-loop). *)
+
+val transient : t -> horizon:float -> Numerics.Vector.t -> Numerics.Vector.t
+(** [transient c ~horizon pi0 = pi0 · exp(Q · horizon)] by
+    uniformization, truncating the Poisson sum once the neglected mass
+    drops below [1e-13].  Exact to that tolerance for any generator. *)
+
+val absorption_cdf : t -> from:int -> float -> float
+(** Probability of having been absorbed (any absorbing state) by the
+    given time, starting from [from]. *)
+
+val expected_absorption_time : t -> from:int -> float
+(** Mean time to absorption: the solution of [Q' a = -1] on the
+    transient block.  Raises [Invalid_argument] when some state cannot
+    reach absorption. *)

@@ -1,0 +1,43 @@
+let to_dot ?(rankdir = "LR") ?costs ?(highlight = []) chain =
+  let buf = Buffer.create 1024 in
+  let states = Chain.states chain in
+  Buffer.add_string buf "digraph chain {\n";
+  Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" rankdir);
+  Buffer.add_string buf "  node [shape=circle, fontsize=11];\n";
+  for i = 0 to Chain.size chain - 1 do
+    let shape = if List.mem i highlight then ", peripheries=2" else "" in
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d [label=\"%s\"%s];\n" i (State_space.label states i)
+         shape)
+  done;
+  for i = 0 to Chain.size chain - 1 do
+    List.iter
+      (fun (j, p) ->
+        if not (Chain.is_absorbing chain i) || i <> j then begin
+          let cost_label =
+            match costs with
+            | Some r when Reward.transition r i j <> 0. ->
+                Printf.sprintf " / %g" (Reward.transition r i j)
+            | Some _ | None -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  s%d -> s%d [label=\"%g%s\"];\n" i j p cost_label)
+        end)
+      (Chain.successors chain i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_tra chain =
+  let buf = Buffer.create 1024 in
+  let transitions =
+    List.concat_map
+      (fun i -> List.map (fun (j, p) -> (i, j, p)) (Chain.successors chain i))
+      (List.init (Chain.size chain) Fun.id)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Chain.size chain) (List.length transitions));
+  List.iter
+    (fun (i, j, p) -> Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" i j p))
+    transitions;
+  Buffer.contents buf

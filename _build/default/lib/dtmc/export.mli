@@ -1,0 +1,16 @@
+(** Export chains to external tool formats. *)
+
+val to_dot :
+  ?rankdir:string -> ?costs:Reward.t -> ?highlight:int list -> Chain.t ->
+  string
+(** Graphviz digraph: one node per state (labelled), one edge per
+    positive-probability transition annotated with its probability (and
+    cost, when a reward structure is supplied).  [highlight] states are
+    drawn with a double border (e.g. absorbing states).  [rankdir]
+    defaults to ["LR"]. *)
+
+val to_tra :
+  Chain.t -> string
+(** The explicit ".tra" transition-list format used by PRISM/Storm:
+    a header line "states transitions" followed by
+    "src dst probability" rows. *)

@@ -1,0 +1,114 @@
+type t = {
+  block_of : int array;
+  blocks : int list array;
+  quotient : Chain.t;
+}
+
+(* probability mass from state s into each current block *)
+let signature chain block_of s =
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun (j, p) ->
+      let b = block_of.(j) in
+      Hashtbl.replace acc b (p +. Option.value ~default:0. (Hashtbl.find_opt acc b)))
+    (Chain.successors chain s);
+  let sig_list = Hashtbl.fold (fun b p l -> (b, p) :: l) acc [] in
+  List.sort compare sig_list
+
+(* group states by (current block, signature), producing dense new ids
+   ordered by smallest member *)
+let refine chain block_of =
+  let n = Chain.size chain in
+  let keys = Array.init n (fun s -> (block_of.(s), signature chain block_of s)) in
+  let table = Hashtbl.create 16 in
+  (* collect members per key *)
+  for s = n - 1 downto 0 do
+    let members = Option.value ~default:[] (Hashtbl.find_opt table keys.(s)) in
+    Hashtbl.replace table keys.(s) (s :: members)
+  done;
+  let groups = Hashtbl.fold (fun _ members acc -> members :: acc) table [] in
+  let groups =
+    List.sort (fun a b -> compare (List.hd a) (List.hd b)) groups
+  in
+  let fresh = Array.make n (-1) in
+  List.iteri (fun id members -> List.iter (fun s -> fresh.(s) <- id) members) groups;
+  (fresh, List.length groups)
+
+let coarsest ?initial chain =
+  let n = Chain.size chain in
+  let block_of =
+    match initial with
+    | Some f -> Array.init n f
+    | None ->
+        (* default: each absorbing state alone, transient states together *)
+        let next = ref 1 in
+        Array.init n (fun s ->
+            if Chain.is_absorbing chain s then begin
+              let id = !next in
+              incr next;
+              id
+            end
+            else 0)
+  in
+  (* normalize to dense ids *)
+  let block_of, count = refine chain block_of in
+  let current = ref block_of and count = ref count in
+  let stable = ref false in
+  while not !stable do
+    let fresh, fresh_count = refine chain !current in
+    if fresh_count = !count then stable := true
+    else begin
+      current := fresh;
+      count := fresh_count
+    end
+  done;
+  let block_of = !current in
+  let blocks = Array.make !count [] in
+  for s = n - 1 downto 0 do
+    blocks.(block_of.(s)) <- s :: blocks.(block_of.(s))
+  done;
+  (* quotient chain: any representative's block-mass row works *)
+  let labels =
+    List.init !count (fun b ->
+        String.concat "|"
+          (List.map (fun s -> State_space.label (Chain.states chain) s) blocks.(b)))
+  in
+  let m = Numerics.Matrix.create ~rows:!count ~cols:!count in
+  Array.iteri
+    (fun b members ->
+      match members with
+      | [] -> ()
+      | representative :: _ ->
+          List.iter
+            (fun (c, p) -> Numerics.Matrix.set m b c p)
+            (signature chain block_of representative))
+    blocks;
+  { block_of;
+    blocks;
+    quotient = Chain.create ~states:(State_space.of_labels labels) m }
+
+let is_lumpable chain ~partition =
+  let n = Chain.size chain in
+  let block_of = Array.init n partition in
+  let rec check s =
+    if s >= n then true
+    else begin
+      (* all states in s's block must share s's signature *)
+      let s_sig = signature chain block_of s in
+      let same =
+        List.for_all
+          (fun other ->
+            block_of.(other) <> block_of.(s)
+            ||
+            let o_sig = signature chain block_of other in
+            List.length o_sig = List.length s_sig
+            && List.for_all2
+                 (fun (b1, p1) (b2, p2) ->
+                   b1 = b2 && Numerics.Safe_float.approx_eq ~rtol:1e-9 ~atol:1e-12 p1 p2)
+                 o_sig s_sig)
+          (List.init n Fun.id)
+      in
+      same && check (s + 1)
+    end
+  in
+  check 0

@@ -1,0 +1,26 @@
+(** Ordinary lumping (strong probabilistic bisimulation) of chains.
+
+    Two states are bisimilar when, for every block of the coarsest
+    stable partition, they move into the block with equal probability.
+    The quotient chain preserves every distribution-level quantity —
+    absorption probabilities, expected rewards, transient behaviour —
+    while shrinking the state space; for highly symmetric chains the
+    reduction is dramatic.  Classic partition refinement (splitter
+    iteration) computes the coarsest lumping. *)
+
+type t = {
+  block_of : int array;      (** Block id per original state. *)
+  blocks : int list array;   (** Members per block, ascending. *)
+  quotient : Chain.t;        (** The lumped chain, one state per block. *)
+}
+
+val coarsest :
+  ?initial:(int -> int) -> Chain.t -> t
+(** The coarsest ordinary lumping refining the [initial] partition
+    (default: absorbing states vs transient states each in their own
+    block — pass a finer seed to protect labels or rewards you care
+    about, e.g. [Reward.one_step_expected] values).  Block ids are
+    dense, ordered by their smallest member. *)
+
+val is_lumpable : Chain.t -> partition:(int -> int) -> bool
+(** Check a candidate partition for the lumping condition. *)

@@ -1,0 +1,159 @@
+type transition = { dst : int; prob : float; cost : float }
+
+type t = {
+  num_states : int;
+  actions : (string * transition list) array array;
+}
+
+let create ~num_states ~actions =
+  if num_states < 1 then invalid_arg "Mdp.create: num_states < 1";
+  let table =
+    Array.init num_states (fun s ->
+        let acts = Array.of_list (actions s) in
+        Array.iter
+          (fun (name, transitions) ->
+            if transitions = [] then
+              invalid_arg
+                (Printf.sprintf "Mdp.create: action %s of state %d has no transitions"
+                   name s);
+            let total =
+              Numerics.Safe_float.sum_list
+                (List.map
+                   (fun tr ->
+                     if tr.prob <= 0. then
+                       invalid_arg "Mdp.create: non-positive probability";
+                     if tr.dst < 0 || tr.dst >= num_states then
+                       invalid_arg "Mdp.create: destination out of range";
+                     tr.prob)
+                   transitions)
+            in
+            if not (Numerics.Safe_float.approx_eq ~rtol:1e-9 total 1.) then
+              invalid_arg
+                (Printf.sprintf
+                   "Mdp.create: action %s of state %d has probability mass %.12g"
+                   name s total))
+          acts;
+        acts)
+  in
+  { num_states; actions = table }
+
+let num_states t = t.num_states
+
+let action_names t s =
+  if s < 0 || s >= t.num_states then invalid_arg "Mdp.action_names: bad state";
+  Array.to_list (Array.map fst t.actions.(s))
+
+let action_name t ~state ~action =
+  if state < 0 || state >= t.num_states then invalid_arg "Mdp.action_name: bad state";
+  if action < 0 || action >= Array.length t.actions.(state) then
+    invalid_arg "Mdp.action_name: bad action";
+  fst t.actions.(state).(action)
+
+type solution = { values : float array; policy : int array; iterations : int }
+
+let q_value t values s a =
+  let _, transitions = t.actions.(s).(a) in
+  Numerics.Safe_float.sum_list
+    (List.map (fun tr -> tr.prob *. (tr.cost +. values.(tr.dst))) transitions)
+
+let greedy t values s =
+  let acts = t.actions.(s) in
+  if Array.length acts = 0 then (-1, 0.)
+  else begin
+    let best = ref 0 and best_v = ref (q_value t values s 0) in
+    for a = 1 to Array.length acts - 1 do
+      let v = q_value t values s a in
+      if v < !best_v then begin
+        best := a;
+        best_v := v
+      end
+    done;
+    (!best, !best_v)
+  end
+
+let value_iteration ?(tol = 1e-12) ?(max_iter = 1_000_000) t =
+  let values = Array.make t.num_states 0. in
+  let rec sweep k =
+    if k >= max_iter then failwith "Mdp.value_iteration: no convergence";
+    let delta = ref 0. in
+    (* Gauss-Seidel: use fresh values within the sweep *)
+    for s = 0 to t.num_states - 1 do
+      if Array.length t.actions.(s) > 0 then begin
+        let _, v = greedy t values s in
+        delta := Float.max !delta (Float.abs (v -. values.(s)));
+        values.(s) <- v
+      end
+    done;
+    if !delta > tol *. (1. +. Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0. values)
+    then sweep (k + 1)
+    else k + 1
+  in
+  let iterations = sweep 0 in
+  let policy = Array.init t.num_states (fun s -> fst (greedy t values s)) in
+  { values; policy; iterations }
+
+let evaluate_policy t ~policy =
+  if Array.length policy <> t.num_states then
+    invalid_arg "Mdp.evaluate_policy: policy length mismatch";
+  let n = t.num_states in
+  (* v = c_pi + P_pi v over controlled states *)
+  let controlled =
+    Array.of_list
+      (List.filter (fun s -> Array.length t.actions.(s) > 0) (List.init n Fun.id))
+  in
+  Array.iter
+    (fun s ->
+      if policy.(s) < 0 || policy.(s) >= Array.length t.actions.(s) then
+        invalid_arg "Mdp.evaluate_policy: action index out of range")
+    controlled;
+  let pos = Array.make n (-1) in
+  Array.iteri (fun p s -> pos.(s) <- p) controlled;
+  let m = Array.length controlled in
+  let values = Array.make n 0. in
+  if m > 0 then begin
+    let a = Numerics.Matrix.identity m in
+    let b = Array.make m 0. in
+    Array.iteri
+      (fun p s ->
+        let _, transitions = t.actions.(s).(policy.(s)) in
+        List.iter
+          (fun tr ->
+            b.(p) <- b.(p) +. (tr.prob *. tr.cost);
+            if pos.(tr.dst) >= 0 then
+              Numerics.Matrix.set a p pos.(tr.dst)
+                (Numerics.Matrix.get a p pos.(tr.dst) -. tr.prob))
+          transitions)
+      controlled;
+    let x =
+      try Numerics.Lu.solve a b
+      with Numerics.Lu.Singular ->
+        failwith "Mdp.evaluate_policy: policy does not reach absorption"
+    in
+    Array.iteri (fun p s -> values.(s) <- x.(p)) controlled
+  end;
+  values
+
+let policy_iteration ?(max_rounds = 1_000) t =
+  let policy = Array.init t.num_states (fun s -> if Array.length t.actions.(s) > 0 then 0 else -1) in
+  let rec round k =
+    if k >= max_rounds then failwith "Mdp.policy_iteration: no convergence";
+    let values = evaluate_policy t ~policy in
+    let changed = ref false in
+    for s = 0 to t.num_states - 1 do
+      if Array.length t.actions.(s) > 0 then begin
+        let best, _ = greedy t values s in
+        if best <> policy.(s) then begin
+          (* strict improvement check to avoid oscillation on ties *)
+          let current = q_value t values s policy.(s) in
+          let candidate = q_value t values s best in
+          if candidate < current -. 1e-15 *. (1. +. Float.abs current) then begin
+            policy.(s) <- best;
+            changed := true
+          end
+        end
+      end
+    done;
+    if !changed then round (k + 1)
+    else { values; policy = Array.copy policy; iterations = k + 1 }
+  in
+  round 0

@@ -1,0 +1,192 @@
+module M = Numerics.Matrix
+
+type comparison = Ge | Gt | Le | Lt
+
+type formula =
+  | True
+  | Ap of string
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Prob of comparison * float * path
+
+and path =
+  | Next of formula
+  | Until of formula * formula
+  | Bounded_until of formula * formula * int
+  | Eventually of formula
+  | Bounded_eventually of formula * int
+  | Globally of formula
+
+type labelling = string -> int -> bool
+
+(* backward reachability of [target] through states satisfying [via]
+   (target states themselves need not satisfy [via]) *)
+let backward_reach chain ~via ~target =
+  let n = Chain.size chain in
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter (fun (j, _) -> preds.(j) <- i :: preds.(j)) (Chain.successors chain i)
+  done;
+  let reached = Array.make n false in
+  let rec dfs j =
+    List.iter
+      (fun i ->
+        if (not reached.(i)) && via.(i) then begin
+          reached.(i) <- true;
+          dfs i
+        end)
+      preds.(j)
+  in
+  for j = 0 to n - 1 do
+    if target.(j) then begin
+      (* the target itself counts as reached *)
+      if not reached.(j) then begin
+        reached.(j) <- true;
+        dfs j
+      end
+    end
+  done;
+  reached
+
+(* quantitative until: P(phi U psi) per state *)
+let prob_until chain ~phi ~psi =
+  let n = Chain.size chain in
+  (* can-reach: psi reachable through phi-states *)
+  let via = Array.init n (fun s -> phi.(s) && not psi.(s)) in
+  let can_reach = backward_reach chain ~via ~target:psi in
+  (* prob 0: everything else *)
+  let zero = Array.init n (fun s -> not can_reach.(s)) in
+  (* prob 1: cannot reach a zero-state while moving through phi\psi *)
+  let reaches_zero = backward_reach chain ~via ~target:zero in
+  let one = Array.init n (fun s -> psi.(s) || not reaches_zero.(s)) in
+  let result = Array.init n (fun s -> if one.(s) then 1. else 0.) in
+  let maybe =
+    Array.of_list
+      (List.filter (fun s -> (not zero.(s)) && not one.(s)) (List.init n Fun.id))
+  in
+  if Array.length maybe > 0 then begin
+    let pos = Array.make n (-1) in
+    Array.iteri (fun p s -> pos.(s) <- p) maybe;
+    let m = Array.length maybe in
+    let q = M.init ~rows:m ~cols:m (fun a b -> Chain.prob chain maybe.(a) maybe.(b)) in
+    let b =
+      Array.map
+        (fun s ->
+          Numerics.Safe_float.sum_list
+            (List.filter_map
+               (fun (j, p) -> if one.(j) then Some p else None)
+               (Chain.successors chain s)))
+        maybe
+    in
+    let x = Numerics.Lu.solve (M.sub (M.identity m) q) b in
+    Array.iteri
+      (fun p s -> result.(s) <- Numerics.Safe_float.clamp_probability x.(p))
+      maybe
+  end;
+  result
+
+let prob_bounded_until chain ~phi ~psi ~k =
+  if k < 0 then invalid_arg "Pctl: negative bound";
+  let n = Chain.size chain in
+  let v = ref (Array.init n (fun s -> if psi.(s) then 1. else 0.)) in
+  for _ = 1 to k do
+    let pv = M.mul_vec (Chain.matrix chain) !v in
+    v :=
+      Array.init n (fun s ->
+          if psi.(s) then 1. else if phi.(s) then pv.(s) else 0.)
+  done;
+  !v
+
+let prob_next chain ~phi =
+  let n = Chain.size chain in
+  Array.init n (fun s ->
+      Numerics.Safe_float.sum_list
+        (List.filter_map
+           (fun (j, p) -> if phi.(j) then Some p else None)
+           (Chain.successors chain s)))
+
+(* the probabilities come out of a linear solve, so thresholds are
+   compared with a relative epsilon: [Ge]/[Le] are forgiving, [Gt]/[Lt]
+   conservative, and a value equal to the bound up to rounding counts
+   as equal *)
+let compare_with comparison bound v =
+  let eps = 1e-9 *. Float.max (Float.abs bound) (Float.abs v) in
+  match comparison with
+  | Ge -> v >= bound -. eps
+  | Gt -> v > bound +. eps
+  | Le -> v <= bound +. eps
+  | Lt -> v < bound -. eps
+
+let all_true n = Array.make n true
+
+let rec path_probabilities chain labelling path =
+  let n = Chain.size chain in
+  match path with
+  | Next phi -> prob_next chain ~phi:(satisfaction chain labelling phi)
+  | Until (phi, psi) ->
+      prob_until chain
+        ~phi:(satisfaction chain labelling phi)
+        ~psi:(satisfaction chain labelling psi)
+  | Bounded_until (phi, psi, k) ->
+      prob_bounded_until chain
+        ~phi:(satisfaction chain labelling phi)
+        ~psi:(satisfaction chain labelling psi)
+        ~k
+  | Eventually phi ->
+      prob_until chain ~phi:(all_true n) ~psi:(satisfaction chain labelling phi)
+  | Bounded_eventually (phi, k) ->
+      prob_bounded_until chain ~phi:(all_true n)
+        ~psi:(satisfaction chain labelling phi)
+        ~k
+  | Globally phi ->
+      (* P(G phi) = 1 - P(F not phi) *)
+      let complement =
+        prob_until chain ~phi:(all_true n)
+          ~psi:(satisfaction chain labelling (Not phi))
+      in
+      Array.map (fun p -> 1. -. p) complement
+
+and satisfaction chain labelling formula =
+  let n = Chain.size chain in
+  match formula with
+  | True -> all_true n
+  | Ap name -> Array.init n (fun s -> labelling name s)
+  | Not f -> Array.map not (satisfaction chain labelling f)
+  | And (a, b) ->
+      let sa = satisfaction chain labelling a and sb = satisfaction chain labelling b in
+      Array.init n (fun s -> sa.(s) && sb.(s))
+  | Or (a, b) ->
+      let sa = satisfaction chain labelling a and sb = satisfaction chain labelling b in
+      Array.init n (fun s -> sa.(s) || sb.(s))
+  | Implies (a, b) ->
+      let sa = satisfaction chain labelling a and sb = satisfaction chain labelling b in
+      Array.init n (fun s -> (not sa.(s)) || sb.(s))
+  | Prob (comparison, bound, path) ->
+      let p = path_probabilities chain labelling path in
+      Array.map (compare_with comparison bound) p
+
+let holds chain labelling ~from formula =
+  (satisfaction chain labelling formula).(from)
+
+let path_probability chain labelling ~from path =
+  (path_probabilities chain labelling path).(from)
+
+let label_of_state chain name state =
+  State_space.label (Chain.states chain) state = name
+
+let reward_to_reach reward labelling formula =
+  let chain = Reward.chain reward in
+  let sat = satisfaction chain labelling formula in
+  let target =
+    List.filter (fun s -> sat.(s)) (List.init (Chain.size chain) Fun.id)
+  in
+  if target = [] then
+    Array.make (Chain.size chain) infinity
+  else Hitting.expected_reward reward ~target
+
+let reward_holds reward labelling ~from comparison bound formula =
+  let v = (reward_to_reach reward labelling formula).(from) in
+  if Float.is_finite v then compare_with comparison bound v
+  else match comparison with Ge | Gt -> true | Le | Lt -> false

@@ -1,0 +1,238 @@
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Number of float
+  | Int of int
+  | Bang
+  | Amp
+  | Pipe
+  | Arrow        (* => *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Prob
+  | Cmp of Pctl.comparison
+  | Next_op
+  | Finally_op
+  | Globally_op
+  | Until_op
+  | Bound of int (* the "<= k" attached to F or U *)
+  | Eof
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at position %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let read_number () =
+    let start = !pos in
+    let seen_dot = ref false and seen_e = ref false in
+    let continue = ref true in
+    while !continue && !pos < n do
+      let c = input.[!pos] in
+      if is_digit c then incr pos
+      else if c = '.' && not !seen_dot && not !seen_e then begin
+        seen_dot := true;
+        incr pos
+      end
+      else if (c = 'e' || c = 'E') && not !seen_e then begin
+        seen_e := true;
+        incr pos;
+        if !pos < n && (input.[!pos] = '+' || input.[!pos] = '-') then incr pos
+      end
+      else continue := false
+    done;
+    let text = String.sub input start (!pos - start) in
+    match (int_of_string_opt text, float_of_string_opt text) with
+    | Some i, _ -> Int i
+    | None, Some f -> Number f
+    | None, None -> fail ("bad number " ^ text)
+  in
+  while !pos < n do
+    (match peek () with
+    | None -> ()
+    | Some c ->
+        if c = ' ' || c = '\t' || c = '\n' then incr pos
+        else if is_digit c then tokens := read_number () :: !tokens
+        else if is_ident_start c then begin
+          let start = !pos in
+          while !pos < n && is_ident_char input.[!pos] do
+            incr pos
+          done;
+          let word = String.sub input start (!pos - start) in
+          let token =
+            match word with
+            | "P" -> Prob
+            | "X" -> Next_op
+            | "F" -> Finally_op
+            | "G" -> Globally_op
+            | "U" -> Until_op
+            | _ -> Ident word
+          in
+          tokens := token :: !tokens
+        end
+        else begin
+          let two = if !pos + 1 < n then String.sub input !pos 2 else "" in
+          match two with
+          | ">=" ->
+              tokens := Cmp Pctl.Ge :: !tokens;
+              pos := !pos + 2
+          | "<=" -> (
+              (* "<= 3" directly after F or U is a step bound *)
+              pos := !pos + 2;
+              while !pos < n && input.[!pos] = ' ' do
+                incr pos
+              done;
+              match !tokens with
+              | (Finally_op | Until_op) :: _ ->
+                  let start = !pos in
+                  while !pos < n && is_digit input.[!pos] do
+                    incr pos
+                  done;
+                  if !pos = start then fail "expected integer bound after <=";
+                  tokens :=
+                    Bound (int_of_string (String.sub input start (!pos - start)))
+                    :: !tokens
+              | _ -> tokens := Cmp Pctl.Le :: !tokens)
+          | "=>" ->
+              tokens := Arrow :: !tokens;
+              pos := !pos + 2
+          | _ -> (
+              (match c with
+              | '>' -> tokens := Cmp Pctl.Gt :: !tokens
+              | '<' -> tokens := Cmp Pctl.Lt :: !tokens
+              | '!' -> tokens := Bang :: !tokens
+              | '&' -> tokens := Amp :: !tokens
+              | '|' -> tokens := Pipe :: !tokens
+              | '(' -> tokens := Lparen :: !tokens
+              | ')' -> tokens := Rparen :: !tokens
+              | '[' -> tokens := Lbracket :: !tokens
+              | ']' -> tokens := Rbracket :: !tokens
+              | _ -> fail (Printf.sprintf "unexpected character %c" c));
+              incr pos)
+        end)
+  done;
+  List.rev (Eof :: !tokens)
+
+(* recursive descent over a mutable token stream *)
+type stream = { mutable tokens : token list }
+
+let peek s = match s.tokens with [] -> Eof | t :: _ -> t
+
+let advance s =
+  match s.tokens with [] -> () | _ :: rest -> s.tokens <- rest
+
+let expect s token msg =
+  if peek s = token then advance s else raise (Parse_error ("expected " ^ msg))
+
+let rec parse_formula s = parse_implies s
+
+and parse_implies s =
+  let left = parse_or s in
+  if peek s = Arrow then begin
+    advance s;
+    let right = parse_implies s in
+    Pctl.Implies (left, right)
+  end
+  else left
+
+and parse_or s =
+  let left = ref (parse_and s) in
+  while peek s = Pipe do
+    advance s;
+    left := Pctl.Or (!left, parse_and s)
+  done;
+  !left
+
+and parse_and s =
+  let left = ref (parse_unary s) in
+  while peek s = Amp do
+    advance s;
+    left := Pctl.And (!left, parse_unary s)
+  done;
+  !left
+
+and parse_unary s =
+  match peek s with
+  | Bang ->
+      advance s;
+      Pctl.Not (parse_unary s)
+  | Prob -> (
+      advance s;
+      match peek s with
+      | Cmp cmp ->
+          advance s;
+          let bound =
+            match peek s with
+            | Number f ->
+                advance s;
+                f
+            | Int i ->
+                advance s;
+                float_of_int i
+            | _ -> raise (Parse_error "expected probability bound after comparison")
+          in
+          expect s Lbracket "'['";
+          let path = parse_path s in
+          expect s Rbracket "']'";
+          Pctl.Prob (cmp, bound, path)
+      | _ -> raise (Parse_error "expected comparison after P"))
+  | Lparen ->
+      advance s;
+      let f = parse_formula s in
+      expect s Rparen "')'";
+      f
+  | Ident "true" ->
+      advance s;
+      Pctl.True
+  | Ident "false" ->
+      advance s;
+      Pctl.Not Pctl.True
+  | Ident name ->
+      advance s;
+      Pctl.Ap name
+  | _ -> raise (Parse_error "expected a formula")
+
+and parse_path s =
+  match peek s with
+  | Next_op ->
+      advance s;
+      Pctl.Next (parse_formula s)
+  | Finally_op -> (
+      advance s;
+      match peek s with
+      | Bound k ->
+          advance s;
+          Pctl.Bounded_eventually (parse_formula s, k)
+      | _ -> Pctl.Eventually (parse_formula s))
+  | Globally_op ->
+      advance s;
+      Pctl.Globally (parse_formula s)
+  | _ -> (
+      (* formula U formula *)
+      let left = parse_formula s in
+      match peek s with
+      | Until_op -> (
+          advance s;
+          match peek s with
+          | Bound k ->
+              advance s;
+              Pctl.Bounded_until (left, parse_formula s, k)
+          | _ -> Pctl.Until (left, parse_formula s))
+      | _ -> raise (Parse_error "expected U in path formula"))
+
+let run_parser parse input =
+  let s = { tokens = tokenize input } in
+  let result = parse s in
+  if peek s <> Eof then raise (Parse_error "trailing input");
+  result
+
+let formula input = run_parser parse_formula input
+let path input = run_parser parse_path input

@@ -1,0 +1,30 @@
+(** Concrete syntax for PCTL formulas.
+
+    Grammar (PRISM-flavoured):
+
+    {v
+    formula ::= 'true' | 'false' | ident
+              | '!' formula
+              | formula '&' formula        (left assoc, binds tighter than |)
+              | formula '|' formula
+              | formula '=>' formula       (right assoc, loosest)
+              | 'P' cmp number '[' path ']'
+              | '(' formula ')'
+    path    ::= 'X' formula
+              | 'F' formula    | 'F<=' int formula
+              | 'G' formula
+              | formula 'U' formula | formula 'U<=' int formula
+    cmp     ::= '>=' | '>' | '<=' | '<'
+    v}
+
+    Identifiers are atomic propositions ([\[A-Za-z_\]\[A-Za-z0-9_\]*]);
+    numbers accept scientific notation ([1e-40]). *)
+
+exception Parse_error of string
+(** Carries a human-readable message with the offending position. *)
+
+val formula : string -> Pctl.formula
+(** Parse a state formula.  Raises {!Parse_error}. *)
+
+val path : string -> Pctl.path
+(** Parse a bare path formula (the "P=? [ ... ]" body). *)

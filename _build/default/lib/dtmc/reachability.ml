@@ -1,0 +1,107 @@
+module Matrix = Numerics.Matrix
+
+let check_target chain target =
+  if target = [] then invalid_arg "Reachability: empty target set";
+  List.iter
+    (fun t ->
+      if t < 0 || t >= Chain.size chain then
+        invalid_arg "Reachability: target index out of range")
+    target
+
+(* Backward reachability over the positive-probability edge relation,
+   with target states treated as absorbing (paths through a target do
+   not count: once reached, reached). *)
+let can_reach_target chain target =
+  let n = Chain.size chain in
+  let is_target = Array.make n false in
+  List.iter (fun t -> is_target.(t) <- true) target;
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    if not is_target.(i) then
+      List.iter (fun (j, _) -> preds.(j) <- i :: preds.(j)) (Chain.successors chain i)
+  done;
+  let seen = Array.make n false in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs preds.(i)
+    end
+  in
+  List.iter dfs target;
+  seen
+
+let never chain ~target =
+  check_target chain target;
+  Array.map not (can_reach_target chain target)
+
+let certainly chain ~target =
+  check_target chain target;
+  let n = Chain.size chain in
+  let never_set = never chain ~target in
+  let is_target = Array.make n false in
+  List.iter (fun t -> is_target.(t) <- true) target;
+  (* a state fails prob-1 iff it can reach a never-state without first
+     passing through the target *)
+  let reaches_never = Array.make n false in
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    if not is_target.(i) then
+      List.iter (fun (j, _) -> preds.(j) <- i :: preds.(j)) (Chain.successors chain i)
+  done;
+  let rec dfs i =
+    if not reaches_never.(i) then begin
+      reaches_never.(i) <- true;
+      List.iter dfs preds.(i)
+    end
+  in
+  for i = 0 to n - 1 do
+    if never_set.(i) && not reaches_never.(i) then dfs i
+  done;
+  Array.init n (fun i -> is_target.(i) || not reaches_never.(i))
+
+let prob chain ~target =
+  check_target chain target;
+  let n = Chain.size chain in
+  let zero = never chain ~target in
+  let one = certainly chain ~target in
+  let maybe =
+    Array.of_list
+      (List.filter (fun i -> (not zero.(i)) && not one.(i)) (List.init n Fun.id))
+  in
+  let result = Array.init n (fun i -> if one.(i) then 1. else 0.) in
+  if Array.length maybe > 0 then begin
+    let pos = Array.make n (-1) in
+    Array.iteri (fun p i -> pos.(i) <- p) maybe;
+    let m = Array.length maybe in
+    let q =
+      Matrix.init ~rows:m ~cols:m (fun a b ->
+          Chain.prob chain maybe.(a) maybe.(b))
+    in
+    let b =
+      Array.map
+        (fun i ->
+          Numerics.Safe_float.sum_list
+            (List.filter_map
+               (fun (j, p) -> if one.(j) then Some p else None)
+               (Chain.successors chain i)))
+        maybe
+    in
+    let x = Numerics.Lu.solve (Matrix.sub (Matrix.identity m) q) b in
+    Array.iteri (fun p i -> result.(i) <- Numerics.Safe_float.clamp_probability x.(p)) maybe
+  end;
+  result
+
+let prob_from chain ~from ~target = (prob chain ~target).(from)
+
+let bounded_prob chain ~target ~horizon =
+  check_target chain target;
+  if horizon < 0 then invalid_arg "Reachability.bounded_prob: negative horizon";
+  let n = Chain.size chain in
+  let is_target = Array.make n false in
+  List.iter (fun t -> is_target.(t) <- true) target;
+  let v = ref (Array.init n (fun i -> if is_target.(i) then 1. else 0.)) in
+  for _ = 1 to horizon do
+    let pv = Matrix.mul_vec (Chain.matrix chain) !v in
+    v := Array.init n (fun i -> if is_target.(i) then 1. else pv.(i))
+  done;
+  !v

@@ -1,0 +1,23 @@
+(** Unbounded reachability probabilities — the core query of
+    probabilistic model checking ("P=? [F target]"), which is exactly
+    how the zeroconf model is phrased in the PRISM benchmark suite.
+
+    The implementation does the standard qualitative precomputation
+    (identify states that reach the target with probability 0, and with
+    probability 1) and solves a linear system only for the remainder. *)
+
+val prob : Chain.t -> target:int list -> Numerics.Vector.t
+(** For every state, the probability of eventually reaching (any state
+    in) [target]. *)
+
+val prob_from : Chain.t -> from:int -> target:int list -> float
+
+val certainly : Chain.t -> target:int list -> bool array
+(** States reaching the target with probability one. *)
+
+val never : Chain.t -> target:int list -> bool array
+(** States that cannot reach the target at all. *)
+
+val bounded_prob : Chain.t -> target:int list -> horizon:int -> Numerics.Vector.t
+(** Probability of reaching the target within [horizon] steps
+    ("P=? [F<=k target]").  Target states count as reached at step 0. *)

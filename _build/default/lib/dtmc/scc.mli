@@ -1,0 +1,27 @@
+(** Strongly connected components and bottom SCCs.
+
+    BSCCs (SCCs with no outgoing edge) are where a finite chain ends up
+    with probability one; they drive qualitative model checking and the
+    long-run analysis of reducible chains. *)
+
+type t = {
+  component : int array;  (** Component id per state, ids in [0, count). *)
+  count : int;
+}
+
+val tarjan : Chain.t -> t
+(** Tarjan's algorithm over the positive-probability edge relation.
+    Component ids are assigned in reverse topological order: edges go
+    from higher ids to lower or equal ids. *)
+
+val members : t -> int -> int list
+(** States of one component, ascending. *)
+
+val is_bottom : Chain.t -> t -> int -> bool
+(** No edge leaves the component. *)
+
+val bottom_components : Chain.t -> int list list
+(** The BSCCs, each as an ascending state list.  For an absorbing chain
+    these are exactly the singletons of absorbing states. *)
+
+val is_irreducible : Chain.t -> bool

@@ -1,0 +1,94 @@
+module Matrix = Numerics.Matrix
+
+type t = {
+  chain : Chain.t;
+  durations : (int * int * float) list array;
+      (* per source state: (dst, duration, prob) for positive-duration
+         edges out of non-absorbing states *)
+  resolve : Numerics.Lu.t;
+      (* factorization of I - Z0^T, Z0 the zero-duration flows *)
+  absorbing : bool array;
+}
+
+let create ~durations chain =
+  let n = Chain.size chain in
+  let absorbing = Array.init n (fun i -> Chain.is_absorbing chain i) in
+  let positive = Array.make n [] in
+  let z0t = Matrix.create ~rows:n ~cols:n in
+  for src = 0 to n - 1 do
+    if not absorbing.(src) then
+      List.iter
+        (fun (dst, prob) ->
+          let d = durations src dst in
+          if d < 0 then invalid_arg "Semi_markov.create: negative duration";
+          if d = 0 then Matrix.set z0t dst src (Matrix.get z0t dst src +. prob)
+          else positive.(src) <- (dst, d, prob) :: positive.(src))
+        (Chain.successors chain src)
+  done;
+  let resolve =
+    try Numerics.Lu.decompose (Matrix.sub (Matrix.identity n) z0t)
+    with Numerics.Lu.Singular ->
+      invalid_arg "Semi_markov.create: zero-duration cycle traps probability"
+  in
+  { chain; durations = positive; resolve; absorbing }
+
+(* instantaneous closure: mass y passing through each state this tick,
+   given mass m arriving at it *)
+let resolve_tick t m = Numerics.Lu.solve_vec t.resolve m
+
+type distribution = { pmf : float array; tail : float }
+
+let distribution ?(horizon = 4096) t ~from =
+  let n = Chain.size t.chain in
+  if from < 0 || from >= n then invalid_arg "Semi_markov.distribution: bad state";
+  if horizon < 0 then invalid_arg "Semi_markov.distribution: negative horizon";
+  (* arrivals.(tick) is consumed in tick order; future arrivals beyond
+     the horizon fall into the tail *)
+  let arrivals = Array.make (horizon + 1) [||] in
+  for k = 0 to horizon do
+    arrivals.(k) <- Array.make n 0.
+  done;
+  arrivals.(0).(from) <- 1.;
+  let pmf = Array.make (horizon + 1) 0. in
+  let tail = ref 0. in
+  for tick = 0 to horizon do
+    let m = arrivals.(tick) in
+    if Array.exists (fun x -> x <> 0.) m then begin
+      let y = resolve_tick t m in
+      for s = 0 to n - 1 do
+        let mass = y.(s) in
+        if mass > 0. then
+          if t.absorbing.(s) then pmf.(tick) <- pmf.(tick) +. mass
+          else
+            List.iter
+              (fun (dst, d, prob) ->
+                let target_tick = tick + d in
+                if target_tick <= horizon then
+                  arrivals.(target_tick).(dst) <-
+                    arrivals.(target_tick).(dst) +. (mass *. prob)
+                else tail := !tail +. (mass *. prob))
+              t.durations.(s)
+      done
+    end
+  done;
+  { pmf; tail = !tail }
+
+let expected_duration t ~from =
+  (* ordinary reward solve with duration-valued transition rewards;
+     Chain.successors has one entry per (src, dst), so the duration
+     annotation translates directly into a cost matrix *)
+  let n = Chain.size t.chain in
+  let costs = Matrix.create ~rows:n ~cols:n in
+  for src = 0 to n - 1 do
+    if not t.absorbing.(src) then
+      List.iter
+        (fun (dst, d, _prob) -> Matrix.set costs src dst (float_of_int d))
+        t.durations.(src)
+  done;
+  let reward = Reward.create ~transition_rewards:costs t.chain in
+  Absorbing.expected_total_reward reward ~from
+
+let mean_of_distribution d =
+  let acc = ref 0. in
+  Array.iteri (fun k mass -> acc := !acc +. (float_of_int k *. mass)) d.pmf;
+  !acc

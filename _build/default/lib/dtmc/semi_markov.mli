@@ -1,0 +1,39 @@
+(** Discrete-time semi-Markov analysis: a chain whose transitions take
+    integer numbers of ticks rather than exactly one step.
+
+    This generalizes the ad-hoc dynamic program behind
+    {!Zeroconf.Latency}: the zeroconf DRM spends one listening period
+    per probe hop, [n] periods on the direct [start -> ok] hop, and no
+    time on aborts — durations 1, [n] and 0 on a 7-state chain.  The
+    module computes, for any such annotation, both the expected total
+    duration until absorption and the exact duration distribution.
+
+    Zero-duration transitions are resolved exactly (not iterated): per
+    tick, the instantaneous flow satisfies [y = m + Z0^T y] for the
+    zero-duration substochastic matrix [Z0], solved once by LU.  Chains
+    whose zero-duration edges form a probability-one cycle are rejected. *)
+
+type t
+
+val create : durations:(int -> int -> int) -> Chain.t -> t
+(** Annotate every positive-probability transition with a duration in
+    ticks ([durations src dst >= 0]).  Raises [Invalid_argument] on
+    negative durations or when the zero-duration sub-chain traps
+    probability (a zero-time cycle of probability one). *)
+
+val expected_duration : t -> from:int -> float
+(** Expected ticks until absorption (must agree with an ordinary
+    reward solve where each transition's reward is its duration). *)
+
+type distribution = {
+  pmf : float array;  (** [pmf.(t)]: absorbed after exactly [t] ticks. *)
+  tail : float;       (** Mass beyond the horizon. *)
+}
+
+val distribution : ?horizon:int -> t -> from:int -> distribution
+(** Exact duration distribution up to [horizon] (default [4096])
+    ticks. *)
+
+val mean_of_distribution : distribution -> float
+(** Mean of the captured mass, for cross-checking against
+    {!expected_duration}. *)

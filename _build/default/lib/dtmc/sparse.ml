@@ -1,0 +1,125 @@
+module Matrix = Numerics.Matrix
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;   (* length rows + 1 *)
+  col_idx : int array;   (* length nnz, sorted within each row *)
+  values : float array;
+}
+
+let of_rows ~rows ~cols triples =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.of_rows: negative size";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Sparse.of_rows: index out of range")
+    triples;
+  (* bucket by row, sum duplicates *)
+  let buckets = Array.make rows [] in
+  List.iter (fun (i, j, v) -> buckets.(i) <- (j, v) :: buckets.(i)) triples;
+  let summed =
+    Array.map
+      (fun entries ->
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (j, v) ->
+            Hashtbl.replace tbl j (v +. Option.value ~default:0. (Hashtbl.find_opt tbl j)))
+          entries;
+        List.sort compare (Hashtbl.fold (fun j v acc -> (j, v) :: acc) tbl []))
+      buckets
+  in
+  let nnz = Array.fold_left (fun acc l -> acc + List.length l) 0 summed in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make nnz 0 in
+  let values = Array.make nnz 0. in
+  let k = ref 0 in
+  Array.iteri
+    (fun i entries ->
+      row_ptr.(i) <- !k;
+      List.iter
+        (fun (j, v) ->
+          col_idx.(!k) <- j;
+          values.(!k) <- v;
+          incr k)
+        entries)
+    summed;
+  row_ptr.(rows) <- !k;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_matrix ?(threshold = 0.) m =
+  let triples = ref [] in
+  for i = Matrix.rows m - 1 downto 0 do
+    for j = Matrix.cols m - 1 downto 0 do
+      let v = Matrix.get m i j in
+      if Float.abs v > threshold then triples := (i, j, v) :: !triples
+    done
+  done;
+  of_rows ~rows:(Matrix.rows m) ~cols:(Matrix.cols m) !triples
+
+let to_matrix t =
+  let m = Matrix.create ~rows:t.rows ~cols:t.cols in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Matrix.set m i t.col_idx.(k) t.values.(k)
+    done
+  done;
+  m
+
+let rows t = t.rows
+let cols t = t.cols
+let nnz t = t.row_ptr.(t.rows)
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Sparse.get: index out of range";
+  let rec scan k =
+    if k >= t.row_ptr.(i + 1) then 0.
+    else if t.col_idx.(k) = j then t.values.(k)
+    else if t.col_idx.(k) > j then 0.
+    else scan (k + 1)
+  in
+  scan t.row_ptr.(i)
+
+let mul_vec t v =
+  if Array.length v <> t.cols then invalid_arg "Sparse.mul_vec: shape mismatch";
+  Array.init t.rows (fun i ->
+      let acc = ref 0. in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (t.values.(k) *. v.(t.col_idx.(k)))
+      done;
+      !acc)
+
+let vec_mul v t =
+  if Array.length v <> t.rows then invalid_arg "Sparse.vec_mul: shape mismatch";
+  let out = Array.make t.cols 0. in
+  for i = 0 to t.rows - 1 do
+    let vi = v.(i) in
+    if vi <> 0. then
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        out.(t.col_idx.(k)) <- out.(t.col_idx.(k)) +. (vi *. t.values.(k))
+      done
+  done;
+  out
+
+let row_entries t i =
+  if i < 0 || i >= t.rows then invalid_arg "Sparse.row_entries: out of range";
+  List.init
+    (t.row_ptr.(i + 1) - t.row_ptr.(i))
+    (fun d ->
+      let k = t.row_ptr.(i) + d in
+      (t.col_idx.(k), t.values.(k)))
+
+let jacobi_solve ?(tol = 1e-14) ?(max_iter = 1_000_000) t b =
+  if t.rows <> t.cols then invalid_arg "Sparse.jacobi_solve: non-square";
+  if Array.length b <> t.rows then invalid_arg "Sparse.jacobi_solve: shape mismatch";
+  let x = ref (Array.copy b) in
+  let rec go k =
+    if k >= max_iter then failwith "Sparse.jacobi_solve: no convergence";
+    let qx = mul_vec t !x in
+    let next = Array.mapi (fun i bi -> bi +. qx.(i)) b in
+    let delta = Numerics.Vector.norm_inf (Numerics.Vector.sub next !x) in
+    x := next;
+    if delta <= tol *. (1. +. Numerics.Vector.norm_inf next) then !x else go (k + 1)
+  in
+  go 0

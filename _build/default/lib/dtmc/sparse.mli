@@ -1,0 +1,33 @@
+(** Compressed-sparse-row matrices for large chains.
+
+    The zeroconf DRM is tiny, but its transition matrix is banded
+    (three non-zeros per row); CSR keeps the large synthetic chains in
+    the test and bench suites affordable and demonstrates that the
+    solver stack scales beyond toy sizes. *)
+
+type t
+
+val of_matrix : ?threshold:float -> Numerics.Matrix.t -> t
+(** Drop entries with magnitude [<= threshold] (default [0.]). *)
+
+val of_rows : rows:int -> cols:int -> (int * int * float) list -> t
+(** From coordinate triples [(row, col, value)]; duplicate coordinates
+    are summed. *)
+
+val to_matrix : t -> Numerics.Matrix.t
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+val get : t -> int -> int -> float
+
+val mul_vec : t -> Numerics.Vector.t -> Numerics.Vector.t
+val vec_mul : Numerics.Vector.t -> t -> Numerics.Vector.t
+
+val row_entries : t -> int -> (int * float) list
+
+val jacobi_solve :
+  ?tol:float -> ?max_iter:int -> t -> Numerics.Vector.t -> Numerics.Vector.t
+(** Solve [(I - Q) x = b] for a substochastic [Q] given as [t], by the
+    convergent fixed-point iteration [x <- b + Q x].  This is the
+    standard iterative engine of probabilistic model checkers.  Raises
+    [Failure] on non-convergence. *)

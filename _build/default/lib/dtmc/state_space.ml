@@ -1,0 +1,36 @@
+type t = { labels : string array; by_label : (string, int) Hashtbl.t }
+
+let of_labels labels =
+  if labels = [] then invalid_arg "State_space.of_labels: empty";
+  let arr = Array.of_list labels in
+  let by_label = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i l ->
+      if l = "" then invalid_arg "State_space.of_labels: empty label";
+      if Hashtbl.mem by_label l then
+        invalid_arg ("State_space.of_labels: duplicate label " ^ l);
+      Hashtbl.add by_label l i)
+    arr;
+  { labels = arr; by_label }
+
+let size t = Array.length t.labels
+
+let label t i =
+  if i < 0 || i >= Array.length t.labels then
+    invalid_arg "State_space.label: index out of range";
+  t.labels.(i)
+
+let index t l =
+  match Hashtbl.find_opt t.by_label l with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem t l = Hashtbl.mem t.by_label l
+let labels t = Array.copy t.labels
+
+let pp ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_string)
+    t.labels

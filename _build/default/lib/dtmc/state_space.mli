@@ -1,0 +1,22 @@
+(** Finite, labelled state spaces.
+
+    States are dense integer indices with human-readable labels, so
+    chains print the way the paper writes them ([start], [1st], ...,
+    [nth], [error], [ok]). *)
+
+type t
+
+val of_labels : string list -> t
+(** Labels must be distinct and non-empty; raises [Invalid_argument]
+    otherwise. *)
+
+val size : t -> int
+val label : t -> int -> string
+(** Raises [Invalid_argument] on an out-of-range index. *)
+
+val index : t -> string -> int
+(** Raises [Not_found] for an unknown label. *)
+
+val mem : t -> string -> bool
+val labels : t -> string array
+val pp : Format.formatter -> t -> unit

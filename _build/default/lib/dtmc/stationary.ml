@@ -1,0 +1,56 @@
+module Matrix = Numerics.Matrix
+
+(* GTH elimination (Grassmann, Taksar, Heyman 1985): censor states one
+   by one from the back, then back-substitute.  All arithmetic uses
+   only additions, multiplications and divisions of non-negative
+   quantities, so no cancellation occurs. *)
+let gth chain =
+  let n = Chain.size chain in
+  let p = Matrix.to_arrays (Chain.matrix chain) in
+  for k = n - 1 downto 1 do
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. p.(k).(j)
+    done;
+    if !s <= 0. then
+      invalid_arg "Stationary.gth: zero pivot (chain not irreducible)";
+    for i = 0 to k - 1 do
+      (* censor state k: redistribute its column mass, keeping the
+         normalized p(i,k)/s for the back substitution *)
+      let factor = p.(i).(k) /. !s in
+      p.(i).(k) <- factor;
+      for j = 0 to k - 1 do
+        p.(i).(j) <- p.(i).(j) +. (factor *. p.(k).(j))
+      done
+    done
+  done;
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for k = 1 to n - 1 do
+    let s = ref 0. in
+    for i = 0 to k - 1 do
+      s := !s +. (pi.(i) *. p.(i).(k))
+    done;
+    pi.(k) <- !s
+  done;
+  let total = Numerics.Safe_float.sum pi in
+  Array.map (fun x -> x /. total) pi
+
+let power_iteration ?(tol = 1e-12) ?(max_iter = 100_000) chain =
+  let n = Chain.size chain in
+  let pi = ref (Array.make n (1. /. float_of_int n)) in
+  let rec go k =
+    if k >= max_iter then failwith "Stationary.power_iteration: no convergence";
+    let next = Matrix.vec_mul !pi (Chain.matrix chain) in
+    let delta = Numerics.Vector.norm1 (Numerics.Vector.sub next !pi) in
+    pi := next;
+    if delta < tol then !pi else go (k + 1)
+  in
+  go 0
+
+let is_stationary ?(tol = 1e-9) chain pi =
+  Array.length pi = Chain.size chain
+  && Numerics.Safe_float.approx_eq ~rtol:1e-9 (Numerics.Safe_float.sum pi) 1.
+  && Numerics.Vector.norm_inf
+       (Numerics.Vector.sub (Matrix.vec_mul pi (Chain.matrix chain)) pi)
+     <= tol

@@ -1,0 +1,20 @@
+(** Stationary distributions of irreducible chains.
+
+    Not needed for the zeroconf chain itself (which is absorbing), but
+    part of any credible DTMC toolkit and used for the network-
+    maintenance extension where hosts cycle between idle/defend
+    states. *)
+
+val gth : Chain.t -> Numerics.Vector.t
+(** Grassmann–Taksar–Heyman elimination: numerically stable stationary
+    vector without subtractions.  Raises [Invalid_argument] if the
+    chain is reducible in a way that leaves a zero pivot. *)
+
+val power_iteration :
+  ?tol:float -> ?max_iter:int -> Chain.t -> Numerics.Vector.t
+(** Repeated [pi P] from the uniform distribution until the L1 change
+    falls below [tol] (default [1e-12]).  Raises [Failure] on
+    non-convergence within [max_iter] (default [100_000]) — e.g. on
+    periodic chains. *)
+
+val is_stationary : ?tol:float -> Chain.t -> Numerics.Vector.t -> bool

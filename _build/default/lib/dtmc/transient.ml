@@ -1,0 +1,43 @@
+module Matrix = Numerics.Matrix
+
+let step chain pi = Matrix.vec_mul pi (Chain.matrix chain)
+
+let distribution_after chain ~k pi =
+  if k < 0 then invalid_arg "Transient.distribution_after: negative k";
+  let rec go k pi = if k = 0 then pi else go (k - 1) (step chain pi) in
+  go k pi
+
+let point_mass chain i =
+  let v = Array.make (Chain.size chain) 0. in
+  v.(i) <- 1.;
+  v
+
+let k_step_probability chain ~k ~from ~to_ =
+  (distribution_after chain ~k (point_mass chain from)).(to_)
+
+let absorption_cdf chain ~from ~horizon =
+  if horizon < 0 then invalid_arg "Transient.absorption_cdf: negative horizon";
+  let absorbing = Chain.absorbing_states chain in
+  let mass pi =
+    Numerics.Safe_float.sum_list (List.map (fun a -> pi.(a)) absorbing)
+  in
+  let out = Array.make (horizon + 1) 0. in
+  let pi = ref (point_mass chain from) in
+  out.(0) <- mass !pi;
+  for k = 1 to horizon do
+    pi := step chain !pi;
+    out.(k) <- mass !pi
+  done;
+  out
+
+let expected_reward_within reward ~from ~horizon =
+  if horizon < 0 then invalid_arg "Transient.expected_reward_within: negative horizon";
+  let chain = Reward.chain reward in
+  let w = Reward.one_step_expected reward in
+  (* value iteration backwards: v_0 = 0; v_{t+1} = w + P v_t *)
+  let v = ref (Array.make (Chain.size chain) 0.) in
+  for _ = 1 to horizon do
+    let pv = Matrix.mul_vec (Chain.matrix chain) !v in
+    v := Array.mapi (fun i wi -> wi +. pv.(i)) w
+  done;
+  !v.(from)

@@ -1,0 +1,23 @@
+(** Transient (finite-horizon) analysis: the k-step probabilities the
+    paper mentions when interpreting powers of [P_n] in Section 5. *)
+
+val step : Chain.t -> Numerics.Vector.t -> Numerics.Vector.t
+(** One step of the distribution: [pi' = pi P]. *)
+
+val distribution_after : Chain.t -> k:int -> Numerics.Vector.t -> Numerics.Vector.t
+(** Distribution after exactly [k] steps. *)
+
+val point_mass : Chain.t -> int -> Numerics.Vector.t
+(** The distribution concentrated on one state. *)
+
+val k_step_probability : Chain.t -> k:int -> from:int -> to_:int -> float
+(** Entry of [P^k]. *)
+
+val absorption_cdf : Chain.t -> from:int -> horizon:int -> float array
+(** [absorption_cdf c ~from ~horizon] gives, for [k = 0 .. horizon], the
+    probability that the chain started at [from] has been absorbed by
+    step [k] — the configuration-time distribution of the protocol. *)
+
+val expected_reward_within : Reward.t -> from:int -> horizon:int -> float
+(** Expected reward accumulated in the first [horizon] steps (finite-
+    horizon value iteration). *)

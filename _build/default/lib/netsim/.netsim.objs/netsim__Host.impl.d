@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Dist Engine Link Numerics Packet

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Dist Engine Format List Numerics Packet

@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Dist Engine Numerics Packet

@@ -1,0 +1,1 @@
+lib/netsim/maintenance.ml: Address_pool Array Engine Float Host Link Newcomer Numerics Packet

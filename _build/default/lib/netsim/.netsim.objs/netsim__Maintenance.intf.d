@@ -1,0 +1,1 @@
+lib/netsim/maintenance.mli: Dist Newcomer Numerics

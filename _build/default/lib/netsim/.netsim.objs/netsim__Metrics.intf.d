@@ -1,0 +1,1 @@
+lib/netsim/metrics.mli: Format Numerics

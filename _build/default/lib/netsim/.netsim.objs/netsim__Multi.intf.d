@@ -1,0 +1,1 @@
+lib/netsim/multi.mli: Dist Metrics Newcomer Numerics

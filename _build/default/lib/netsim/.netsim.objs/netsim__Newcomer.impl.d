@@ -1,0 +1,1 @@
+lib/netsim/newcomer.ml: Address_pool Engine Hashtbl Link Metrics Numerics Packet

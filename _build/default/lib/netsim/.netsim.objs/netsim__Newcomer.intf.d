@@ -1,0 +1,1 @@
+lib/netsim/newcomer.mli: Address_pool Engine Link Metrics Numerics

@@ -1,0 +1,1 @@
+lib/netsim/scenario.ml: Address_pool Array Dist Engine Float Hashtbl Host Link List Metrics Newcomer

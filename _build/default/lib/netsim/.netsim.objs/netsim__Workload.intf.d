@@ -1,0 +1,1 @@
+lib/netsim/workload.mli: Dist Metrics Newcomer Numerics

@@ -1,0 +1,31 @@
+(** Discrete-event simulation engine: a virtual clock driving a queue
+    of scheduled thunks. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+(** Current simulation time; starts at [0.]. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> unit
+(** Run the thunk [after] seconds of virtual time from now; [after]
+    must be non-negative. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; [time] must not lie in the past. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Process events in timestamp order until the queue drains, the
+    clock passes [until], or [max_events] (default [10_000_000])
+    events have fired (guarding against runaway schedules; raises
+    [Failure] in that case). *)
+
+val pending : t -> int
+
+val set_tracer : t -> (float -> string -> unit) option -> unit
+(** Install (or remove) an event tracer; {!trace} calls become visible
+    to it. *)
+
+val trace : t -> ('a, unit, string, unit) format4 -> 'a
+(** Emit a trace line at the current virtual time (no-op without a
+    tracer). *)

@@ -1,0 +1,62 @@
+type station = { id : int; handler : Packet.t -> unit; mutable attached : bool }
+
+type t = {
+  engine : Engine.t;
+  rng : Numerics.Rng.t;
+  loss : float;
+  one_way : Dist.Distribution.t;
+  mutable stations : station list; (* newest first *)
+  mutable next_id : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+}
+
+let create ~engine ~rng ~loss ~one_way =
+  if not (Numerics.Safe_float.is_probability loss) then
+    invalid_arg "Link.create: loss not in [0, 1]";
+  { engine;
+    rng;
+    loss;
+    one_way;
+    stations = [];
+    next_id = 0;
+    sent = 0;
+    delivered = 0;
+    lost = 0 }
+
+let attach t handler =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.stations <- { id; handler; attached = true } :: t.stations;
+  id
+
+let detach t id =
+  List.iter (fun s -> if s.id = id then s.attached <- false) t.stations
+
+let broadcast t ~sender packet =
+  t.sent <- t.sent + 1;
+  Engine.trace t.engine "host%d sends %s" sender
+    (Format.asprintf "%a" Packet.pp packet);
+  let deliver station =
+    if station.attached && station.id <> sender then begin
+      if Numerics.Rng.bool t.rng t.loss then begin
+        t.lost <- t.lost + 1;
+        Engine.trace t.engine "  lost on the way to host%d" station.id
+      end
+      else
+        match t.one_way.sample t.rng with
+        | None ->
+            t.lost <- t.lost + 1;
+            Engine.trace t.engine "  lost (delay defect) to host%d" station.id
+        | Some delay ->
+            t.delivered <- t.delivered + 1;
+            Engine.schedule t.engine ~after:delay (fun () ->
+                if station.attached then station.handler packet)
+    end
+  in
+  List.iter deliver t.stations
+
+let packets_sent t = t.sent
+let packets_delivered t = t.delivered
+let packets_lost t = t.lost

@@ -1,0 +1,111 @@
+type resolution = {
+  detection_time : float;
+  reconfiguration_time : float;
+  total_disruption : float;
+  broken_connections : int;
+}
+
+(* One collision, played out on the packet level.
+
+   Setup: the contested address has an incumbent owner (a Host, which
+   defends it) and a colliding newcomer that believes the address is
+   its own.  Background ARP requests for the address arrive at Poisson
+   times; each makes the incumbent broadcast a defence reply.  The
+   first such reply the colliding host receives reveals the conflict;
+   it then abandons the address and runs the configuration protocol
+   again for a fresh one. *)
+let simulate_collision ?(background_rate = 0.1) ?(connection_rate = 0.05)
+    ~loss ~one_way ~occupied ?pool_size ~config ~rng () =
+  if background_rate <= 0. then
+    invalid_arg "Maintenance.simulate_collision: background_rate <= 0";
+  if connection_rate < 0. then
+    invalid_arg "Maintenance.simulate_collision: connection_rate < 0";
+  let engine = Engine.create () in
+  let pool = Address_pool.create ?size:pool_size () in
+  let link = Link.create ~engine ~rng ~loss ~one_way in
+  (* populate the network *)
+  for _ = 1 to occupied do
+    let address = Address_pool.claim_random_free pool ~rng in
+    ignore (Host.create ~engine ~link ~rng ~address ())
+  done;
+  (* the contested address: give it an incumbent... *)
+  let contested = Address_pool.claim_random_free pool ~rng in
+  ignore (Host.create ~engine ~link ~rng ~address:contested ());
+  (* ...and a requester that keeps asking for it (background traffic) *)
+  let requester = Link.attach link (fun _ -> ()) in
+  let rec background () =
+    Engine.schedule engine
+      ~after:(Numerics.Rng.exponential rng ~rate:background_rate)
+      (fun () ->
+        Link.broadcast link ~sender:requester
+          (Packet.Arp_probe { sender = requester; address = contested });
+        background ())
+  in
+  background ();
+  (* the colliding host: listens for any defence of "its" address *)
+  let detection_time = ref None in
+  let reconfiguration = ref None in
+  let collider = ref (-1) in
+  let on_packet packet =
+    match (packet, !detection_time) with
+    | Packet.Arp_reply { address; sender }, None
+      when address = contested && sender <> !collider ->
+        detection_time := Some (Engine.now engine);
+        (* abandon the address, reconfigure from scratch *)
+        Link.detach link !collider;
+        let started = Engine.now engine in
+        ignore
+          (Newcomer.start ~engine ~link ~pool ~rng ~config
+             ~on_done:(fun outcome ->
+               reconfiguration :=
+                 Some (Engine.now engine -. started, outcome))
+             ())
+    | _ -> ()
+  in
+  collider := Link.attach link on_packet;
+  (* run until the collider has reconfigured (cap the horizon against
+     pathological loss rates) *)
+  let horizon = ref 1000. in
+  while !reconfiguration = None && !horizon < 1e7 do
+    Engine.run ~until:!horizon engine;
+    horizon := !horizon *. 10.
+  done;
+  match (!detection_time, !reconfiguration) with
+  | Some detected, Some (reconf_time, _) ->
+      let connections =
+        (* connections opened while the collision was latent *)
+        int_of_float (Float.round (detected *. connection_rate))
+      in
+      { detection_time = detected;
+        reconfiguration_time = reconf_time;
+        total_disruption = detected +. reconf_time;
+        broken_connections = connections }
+  | _ -> failwith "Maintenance.simulate_collision: conflict never resolved"
+
+type cost_estimate = {
+  trials : int;
+  disruption : Numerics.Stats.summary;
+  mean_broken : float;
+  suggested_error_cost : float;
+}
+
+let estimate_error_cost ?(per_connection = 30.) ?background_rate
+    ?connection_rate ~loss ~one_way ~occupied ?pool_size ~config ~trials ~rng
+    () =
+  if trials < 1 then invalid_arg "Maintenance.estimate_error_cost: trials < 1";
+  let resolutions =
+    Array.init trials (fun _ ->
+        simulate_collision ?background_rate ?connection_rate ~loss ~one_way
+          ~occupied ?pool_size ~config ~rng ())
+  in
+  let disruptions = Array.map (fun r -> r.total_disruption) resolutions in
+  let broken =
+    Array.map (fun r -> float_of_int r.broken_connections) resolutions
+  in
+  let disruption = Numerics.Stats.summarize disruptions in
+  let mean_broken = Numerics.Safe_float.mean broken in
+  { trials;
+    disruption;
+    mean_broken;
+    suggested_error_cost =
+      disruption.Numerics.Stats.mean +. (per_connection *. mean_broken) }

@@ -1,0 +1,57 @@
+(** The protocol's second part: collision detection and address defense
+    during normal operation.
+
+    The paper describes only the initialization phase and treats the
+    consequence of an accepted collision as an opaque cost [E]
+    ("the maintenance mechanism will later have to launch a costly
+    protocol to re-establish the integrity of the IP numbers",
+    Sec. 3.1).  This module simulates that costly protocol, giving [E]
+    an operational reading:
+
+    after an erroneous acceptance two hosts share an address; the
+    conflict stays latent until background ARP traffic for that address
+    makes one owner hear the other's reply.  The incumbent defends
+    (broadcasts its claim); the newcomer must abandon the address and
+    reconfigure from scratch, killing its established connections.  The
+    disruption — detection latency plus reconfiguration time, weighted
+    by the connections torn down — is the measurable counterpart of
+    [E]. *)
+
+type resolution = {
+  detection_time : float;
+      (** Virtual seconds from the collision until the newcomer learns
+          of it. *)
+  reconfiguration_time : float;
+      (** Zeroconf run time for the replacement address. *)
+  total_disruption : float;
+      (** [detection_time + reconfiguration_time]: the outage window. *)
+  broken_connections : int;
+      (** Connections the newcomer had established on the colliding
+          address (all torn down). *)
+}
+
+val simulate_collision :
+  ?background_rate:float -> ?connection_rate:float -> loss:float ->
+  one_way:Dist.Distribution.t -> occupied:int -> ?pool_size:int ->
+  config:Newcomer.config -> rng:Numerics.Rng.t -> unit -> resolution
+(** One latent collision, played out.  [background_rate] (default
+    [0.1]/s) is the Poisson rate of ARP traffic touching the contested
+    address; [connection_rate] (default [0.05]/s) the rate at which the
+    unsuspecting newcomer opens connections until detection. *)
+
+type cost_estimate = {
+  trials : int;
+  disruption : Numerics.Stats.summary;
+  mean_broken : float;
+  suggested_error_cost : float;
+      (** Mean disruption plus [per_connection] per broken connection —
+          on the paper's scale where one second of waiting costs 1. *)
+}
+
+val estimate_error_cost :
+  ?per_connection:float -> ?background_rate:float -> ?connection_rate:float ->
+  loss:float -> one_way:Dist.Distribution.t -> occupied:int ->
+  ?pool_size:int -> config:Newcomer.config -> trials:int ->
+  rng:Numerics.Rng.t -> unit -> cost_estimate
+(** Monte-Carlo over collisions.  [per_connection] (default [30.])
+    prices one broken connection in waiting-seconds. *)

@@ -1,0 +1,56 @@
+type outcome = {
+  address : int;
+  collided : bool;
+  probes_sent : int;
+  restarts : int;
+  config_time : float;
+  cost : float;
+}
+
+type aggregate = {
+  trials : int;
+  collisions : int;
+  collision_rate : float;
+  collision_ci : float * float;
+  cost : Numerics.Stats.summary;
+  cost_ci : float * float;
+  config_time : Numerics.Stats.summary;
+  mean_probes : float;
+  mean_restarts : float;
+}
+
+let aggregate outcomes =
+  let trials = Array.length outcomes in
+  if trials = 0 then invalid_arg "Metrics.aggregate: no outcomes";
+  let collisions =
+    Array.fold_left
+      (fun acc (o : outcome) -> if o.collided then acc + 1 else acc)
+      0 outcomes
+  in
+  let costs = Array.map (fun (o : outcome) -> o.cost) outcomes in
+  let times = Array.map (fun (o : outcome) -> o.config_time) outcomes in
+  { trials;
+    collisions;
+    collision_rate = float_of_int collisions /. float_of_int trials;
+    collision_ci = Numerics.Stats.proportion_ci ~successes:collisions trials;
+    cost = Numerics.Stats.summarize costs;
+    cost_ci = Numerics.Stats.mean_ci costs;
+    config_time = Numerics.Stats.summarize times;
+    mean_probes =
+      Numerics.Safe_float.mean
+        (Array.map (fun o -> float_of_int o.probes_sent) outcomes);
+    mean_restarts =
+      Numerics.Safe_float.mean
+        (Array.map (fun o -> float_of_int o.restarts) outcomes) }
+
+let pp_aggregate ppf a =
+  let lo, hi = a.collision_ci and clo, chi = a.cost_ci in
+  Format.fprintf ppf
+    "@[<v>%d trials:@,\
+    \  collisions: %d (rate %.3g, 95%% CI [%.3g, %.3g])@,\
+    \  mean cost: %.4g (95%% CI [%.4g, %.4g])@,\
+    \  mean config time: %.4g s (min %.3g, max %.3g)@,\
+    \  mean probes: %.3g; mean restarts: %.3g@]"
+    a.trials a.collisions a.collision_rate lo hi a.cost.Numerics.Stats.mean clo
+    chi a.config_time.Numerics.Stats.mean a.config_time.Numerics.Stats.min
+    a.config_time.Numerics.Stats.max a.mean_probes a.mean_restarts

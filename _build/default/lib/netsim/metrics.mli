@@ -1,0 +1,28 @@
+(** Per-trial outcomes of a configuration attempt and their
+    aggregation. *)
+
+type outcome = {
+  address : int;        (** Finally accepted address. *)
+  collided : bool;      (** True when the accepted address was in use. *)
+  probes_sent : int;    (** Total ARP probes across all attempts. *)
+  restarts : int;       (** Number of addresses abandoned after a reply. *)
+  config_time : float;  (** Virtual seconds from power-on to acceptance. *)
+  cost : float;         (** Accumulated abstract cost (paper's metric). *)
+}
+
+type aggregate = {
+  trials : int;
+  collisions : int;
+  collision_rate : float;
+  collision_ci : float * float;  (** Wilson 95% interval. *)
+  cost : Numerics.Stats.summary;
+  cost_ci : float * float;
+  config_time : Numerics.Stats.summary;
+  mean_probes : float;
+  mean_restarts : float;
+}
+
+val aggregate : outcome array -> aggregate
+(** Raises [Invalid_argument] on an empty array. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

@@ -1,0 +1,15 @@
+type t =
+  | Arp_probe of { sender : int; address : int }
+  | Arp_reply of { sender : int; address : int }
+
+let address = function
+  | Arp_probe { address; _ } | Arp_reply { address; _ } -> address
+
+let sender = function
+  | Arp_probe { sender; _ } | Arp_reply { sender; _ } -> sender
+
+let pp ppf = function
+  | Arp_probe { sender; address } ->
+      Format.fprintf ppf "probe[host%d, %s]" sender (Address_pool.to_string address)
+  | Arp_reply { sender; address } ->
+      Format.fprintf ppf "reply[host%d, %s]" sender (Address_pool.to_string address)

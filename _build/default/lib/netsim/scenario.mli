@@ -1,0 +1,36 @@
+(** Trial runners: repeat configuration attempts and collect outcomes.
+
+    Two fidelity levels:
+
+    - {!run_aggregate} samples reply round-trips directly from the
+      paper's [F_X] (no packet-level machinery) with the DRM's
+      period-boundary semantics — the sharpest Monte-Carlo check of
+      Eqs. 3 and 4, because it samples {e delays}, not the chain's
+      already-derived probabilities.
+    - {!run_detailed} runs the full packet-level simulation: broadcast
+      link with per-receiver loss, ARP responder hosts with processing
+      delays, and the newcomer state machine. *)
+
+val run_aggregate :
+  delay:Dist.Distribution.t -> occupied:int -> ?pool_size:int ->
+  config:Newcomer.config -> trials:int -> rng:Numerics.Rng.t -> unit ->
+  Metrics.outcome array
+(** Occupancy is [occupied / pool_size] (defaults to the real 65024
+    space), so [q] matches {!Zeroconf.Params.q_of_hosts}. *)
+
+val run_detailed :
+  loss:float -> one_way:Dist.Distribution.t ->
+  ?processing:Dist.Distribution.t -> ?deaf_prob:float -> occupied:int ->
+  ?pool_size:int -> config:Newcomer.config -> trials:int ->
+  rng:Numerics.Rng.t -> unit -> Metrics.outcome array
+(** Each trial builds a fresh network of [occupied] configured hosts
+    plus one newcomer and runs it to completion. *)
+
+val trace_one :
+  loss:float -> one_way:Dist.Distribution.t ->
+  ?processing:Dist.Distribution.t -> occupied:int -> ?pool_size:int ->
+  config:Newcomer.config -> rng:Numerics.Rng.t -> unit ->
+  Metrics.outcome * (float * string) list
+(** Run a single detailed trial with tracing on; returns the outcome
+    and the timestamped event log (for the examples and for
+    debugging). *)

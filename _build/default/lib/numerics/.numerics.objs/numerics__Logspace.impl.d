@@ -1,0 +1,1 @@
+lib/numerics/logspace.ml: Float Format List Safe_float Stdlib

@@ -1,0 +1,1 @@
+lib/numerics/lu.mli: Matrix Vector

@@ -1,0 +1,1 @@
+lib/numerics/nelder_mead.ml: Array Float Fun Vector

@@ -1,0 +1,1 @@
+lib/numerics/nelder_mead.mli:

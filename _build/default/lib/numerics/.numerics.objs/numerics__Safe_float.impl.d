@@ -1,0 +1,1 @@
+lib/numerics/safe_float.ml: Array Float List Stdlib

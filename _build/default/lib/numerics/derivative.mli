@@ -1,0 +1,20 @@
+(** Numerical differentiation, used for sensitivity analysis
+    (elasticities of the cost function w.r.t. scenario parameters) and
+    to cross-check the optimizer (the derivative must vanish at
+    [r_opt]). *)
+
+val central : ?h:float -> f:(float -> float) -> float -> float
+(** Central difference [ (f (x+h) - f (x-h)) / 2h ].  The default step
+    scales with [x]: [h = eps^(1/3) * max 1 |x|]. *)
+
+val richardson : ?h:float -> ?levels:int -> f:(float -> float) -> float -> float
+(** Richardson-extrapolated central differences ([levels] halvings,
+    default [4]); roughly [O(h^(2*levels))] accurate on smooth
+    functions. *)
+
+val second : ?h:float -> f:(float -> float) -> float -> float
+(** Central second derivative. *)
+
+val log_elasticity : ?h:float -> f:(float -> float) -> float -> float
+(** [log_elasticity ~f x] is [d log f / d log x] at [x]: the relative
+    sensitivity of [f] to [x].  Requires [x > 0] and [f x > 0]. *)

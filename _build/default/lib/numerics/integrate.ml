@@ -1,0 +1,58 @@
+let simpson ?(n = 512) ~f a b =
+  if n < 2 then invalid_arg "Integrate.simpson: n < 2";
+  let n = if n land 1 = 1 then n + 1 else n in
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let x = a +. (float_of_int i *. h) in
+    acc := !acc +. ((if i land 1 = 1 then 4. else 2.) *. f x)
+  done;
+  !acc *. h /. 3.
+
+(* single Simpson panel *)
+let panel f a b =
+  let m = 0.5 *. (a +. b) in
+  ((b -. a) /. 6.) *. (f a +. (4. *. f m) +. f b)
+
+let adaptive ?(tol = 1e-10) ?(max_depth = 48) ~f a b =
+  let rec go a b whole tol depth =
+    let m = 0.5 *. (a +. b) in
+    let left = panel f a m and right = panel f m b in
+    let refined = left +. right in
+    if depth >= max_depth || Float.abs (refined -. whole) <= 15. *. tol then
+      refined +. ((refined -. whole) /. 15.)
+    else
+      go a m left (tol /. 2.) (depth + 1)
+      +. go m b right (tol /. 2.) (depth + 1)
+  in
+  (* pre-split so narrow features cannot hide between the three probe
+     points of a single top-level panel *)
+  let pieces = 32 in
+  let h = (b -. a) /. float_of_int pieces in
+  let acc = ref 0. in
+  for i = 0 to pieces - 1 do
+    let lo = a +. (float_of_int i *. h) in
+    let hi = if i = pieces - 1 then b else lo +. h in
+    acc := !acc +. go lo hi (panel f lo hi) (tol /. float_of_int pieces) 0
+  done;
+  !acc
+
+let to_infinity ?(tol = 1e-12) ?(max_doublings = 64) ~f a =
+  let total = ref 0. in
+  let lo = ref a in
+  let width = ref (Float.max 1. (Float.abs a)) in
+  let continue = ref true in
+  let rounds = ref 0 in
+  while !continue && !rounds < max_doublings do
+    let hi = !lo +. !width in
+    let piece = adaptive ~tol:(tol /. 16.) ~f !lo hi in
+    total := !total +. piece;
+    if Float.abs piece <= tol *. (1. +. Float.abs !total) && !rounds > 2 then
+      continue := false
+    else begin
+      lo := hi;
+      width := !width *. 2.;
+      incr rounds
+    end
+  done;
+  !total

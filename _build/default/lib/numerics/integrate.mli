@@ -1,0 +1,23 @@
+(** One-dimensional numerical integration.
+
+    Used to compute distribution moments from survival functions
+    (mean = integral of the survival of the non-defective part) and to
+    cross-check closed-form means in the test suite. *)
+
+val simpson : ?n:int -> f:(float -> float) -> float -> float -> float
+(** Composite Simpson's rule with [n] (default [512], rounded up to
+    even) subintervals on [\[a, b\]]. *)
+
+val adaptive :
+  ?tol:float -> ?max_depth:int -> f:(float -> float) -> float -> float ->
+  float
+(** Adaptive Simpson (Lyness criterion): recursively bisect until the
+    local error estimate is below [tol] (default [1e-10]) or
+    [max_depth] (default [48]) is reached. *)
+
+val to_infinity :
+  ?tol:float -> ?max_doublings:int -> f:(float -> float) -> float -> float
+(** Integrate [f] from a lower bound to infinity by integrating over
+    geometrically growing windows until a window contributes less than
+    [tol] (default [1e-12]) in relative terms.  Suitable for integrands
+    with (eventually) decaying tails. *)

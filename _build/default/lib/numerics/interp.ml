@@ -1,0 +1,54 @@
+type t = { xs : float array; ys : float array }
+
+let create ~xs ~ys =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Interp.create: need at least two points";
+  if Array.length ys <> n then invalid_arg "Interp.create: length mismatch";
+  for i = 0 to n - 2 do
+    if xs.(i) >= xs.(i + 1) then
+      invalid_arg "Interp.create: abscissae not strictly increasing"
+  done;
+  { xs = Array.copy xs; ys = Array.copy ys }
+
+(* Largest index i with xs.(i) <= x, clamped to [0, n-2]. *)
+let segment t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then 0
+  else if x >= t.xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else
+    let i = segment t x in
+    let frac = (x -. t.xs.(i)) /. (t.xs.(i + 1) -. t.xs.(i)) in
+    t.ys.(i) +. (frac *. (t.ys.(i + 1) -. t.ys.(i)))
+
+let inverse t y =
+  let n = Array.length t.ys in
+  if y <= t.ys.(0) then t.xs.(0)
+  else if y >= t.ys.(n - 1) then t.xs.(n - 1)
+  else begin
+    (* find first segment whose right endpoint reaches y *)
+    let i = ref 0 in
+    while t.ys.(!i + 1) < y do
+      incr i
+    done;
+    let dy = t.ys.(!i + 1) -. t.ys.(!i) in
+    if dy = 0. then t.xs.(!i)
+    else
+      let frac = (y -. t.ys.(!i)) /. dy in
+      t.xs.(!i) +. (frac *. (t.xs.(!i + 1) -. t.xs.(!i)))
+  end
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+let map_y f t = { t with ys = Array.map f t.ys }

@@ -1,0 +1,21 @@
+(** Piecewise-linear interpolation over tabulated data — used to build
+    empirical reply-delay distributions from measured samples, the
+    measurement-driven path the paper calls for in Sec. 3.2. *)
+
+type t
+
+val create : xs:float array -> ys:float array -> t
+(** Abscissae must be strictly increasing and at least two points long;
+    raises [Invalid_argument] otherwise. *)
+
+val eval : t -> float -> float
+(** Linear interpolation inside the table, constant extrapolation
+    (clamped to the end values) outside. *)
+
+val inverse : t -> float -> float
+(** For a table with non-decreasing [ys] (e.g. a CDF): the smallest [x]
+    with [eval t x >= y], linearly interpolated.  Clamps outside the
+    range of [ys]. *)
+
+val domain : t -> float * float
+val map_y : (float -> float) -> t -> t

@@ -1,0 +1,69 @@
+type t = { sign : int; mag : float }
+(* Invariant: sign ∈ {-1, 0, 1}; sign = 0 iff mag = neg_infinity. *)
+
+let zero = { sign = 0; mag = neg_infinity }
+let one = { sign = 1; mag = 0. }
+let minus_one = { sign = -1; mag = 0. }
+
+let make sign mag =
+  if mag = neg_infinity || sign = 0 then zero else { sign; mag }
+
+let of_float x =
+  if Float.is_nan x then invalid_arg "Logspace.of_float: nan";
+  if x = 0. then zero
+  else if x > 0. then { sign = 1; mag = log x }
+  else { sign = -1; mag = log (-.x) }
+
+let of_log x = make 1 x
+
+let to_float { sign; mag } =
+  match sign with
+  | 0 -> 0.
+  | 1 -> exp mag
+  | _ -> -.exp mag
+
+let log_abs t = t.mag
+let sign t = t.sign
+let neg t = make (-t.sign) t.mag
+let abs t = make (Stdlib.abs t.sign) t.mag
+let is_zero t = t.sign = 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (Safe_float.log_sum_exp a.mag b.mag)
+  else if a.mag = b.mag then zero
+  else if a.mag > b.mag then make a.sign (Safe_float.log_diff_exp a.mag b.mag)
+  else make b.sign (Safe_float.log_diff_exp b.mag a.mag)
+
+let sub a b = add a (neg b)
+let mul a b = make (a.sign * b.sign) (a.mag +. b.mag)
+
+let div a b =
+  if b.sign = 0 then raise Division_by_zero;
+  make (a.sign * b.sign) (a.mag -. b.mag)
+
+let pow a k =
+  if a.sign = 0 then
+    if k > 0 then zero else if k = 0 then one else raise Division_by_zero
+  else
+    let sign = if a.sign < 0 && k land 1 = 1 then -1 else 1 in
+    make sign (float_of_int k *. a.mag)
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then Stdlib.compare a.mag b.mag
+  else Stdlib.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let sum ts = List.fold_left add zero ts
+let prod ts = List.fold_left mul one ts
+
+let pp ppf t =
+  let v = to_float t in
+  if Float.is_finite v && (v = 0. || Stdlib.( < ) (Float.abs t.mag) 700.) then
+    Format.fprintf ppf "%g" v
+  else
+    Format.fprintf ppf "%sexp(%g)" (if Stdlib.( < ) t.sign 0 then "-" else "") t.mag

@@ -1,0 +1,59 @@
+(** Signed log-domain arithmetic.
+
+    A {!t} represents a real number as a sign together with the natural
+    logarithm of its magnitude, so products of many tiny probabilities
+    (the paper's [pi_n(r)], which reaches [1e-120] and below) and huge
+    cost coefficients ([E = 1e35] and beyond) stay representable far
+    past the range of IEEE doubles.  All operations are total on
+    non-[nan] inputs. *)
+
+type t
+(** A signed log-domain real. *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_float : float -> t
+(** Embed a float.  Raises [Invalid_argument] on [nan]. *)
+
+val of_log : float -> t
+(** [of_log x] is the positive number whose natural log is [x]
+    ([neg_infinity] gives {!zero}). *)
+
+val to_float : t -> float
+(** Round-trip to float; overflows to [infinity]/[neg_infinity] and
+    underflows to (signed) zero exactly as [exp] would. *)
+
+val log_abs : t -> float
+(** Natural log of the magnitude ([neg_infinity] for {!zero}). *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div _ zero] raises [Division_by_zero]. *)
+
+val pow : t -> int -> t
+(** Integer power.  [pow zero 0 = one]; negative exponents of
+    {!zero} raise [Division_by_zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+
+val is_zero : t -> bool
+
+val sum : t list -> t
+(** Log-sum-exp over a list, sign-aware. *)
+
+val prod : t list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints either the float value (when in range) or [±exp(ℓ)]. *)

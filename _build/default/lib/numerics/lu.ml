@@ -1,0 +1,83 @@
+exception Singular
+
+type t = {
+  n : int;
+  lu : float array array; (* packed L (unit diagonal, below) and U (on/above) *)
+  perm : int array;       (* row permutation *)
+  sign : float;           (* parity of the permutation, for det *)
+}
+
+let decompose m =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Lu.decompose: non-square matrix";
+  let lu = Matrix.to_arrays m in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* partial pivoting: largest magnitude in column k at/below row k *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!pivot).(k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot);
+      lu.(!pivot) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tp;
+      sign := -. !sign
+    end;
+    let pkk = lu.(k).(k) in
+    if pkk = 0. then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = lu.(i).(k) /. pkk in
+      lu.(i).(k) <- factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (factor *. lu.(k).(j))
+        done
+    done
+  done;
+  { n; lu; perm; sign = !sign }
+
+let solve_vec { n; lu; perm; _ } b =
+  if Array.length b <> n then invalid_arg "Lu.solve_vec: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit-lower L *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. lu.(i).(i)
+  done;
+  x
+
+let solve_mat fact b =
+  let cols = Matrix.cols b in
+  let solved = Array.init cols (fun j -> solve_vec fact (Matrix.col b j)) in
+  Matrix.init ~rows:fact.n ~cols (fun i j -> solved.(j).(i))
+
+let det { n; lu; sign; _ } =
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. lu.(i).(i)
+  done;
+  !d
+
+let inverse fact = solve_mat fact (Matrix.identity fact.n)
+let solve a b = solve_vec (decompose a) b
+let solve_matrix a b = solve_mat (decompose a) b
+
+let refine a fact b x =
+  let residual = Vector.sub b (Matrix.mul_vec a x) in
+  Vector.add x (solve_vec fact residual)

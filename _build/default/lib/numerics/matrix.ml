@@ -1,0 +1,122 @@
+type t = { rows : int; cols : int; data : float array (* row-major *) }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative size";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init ~rows ~cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.init: negative size";
+  { rows;
+    cols;
+    data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays arr =
+  let rows = Array.length arr in
+  if rows = 0 then invalid_arg "Matrix.of_arrays: no rows";
+  let cols = Array.length arr.(0) in
+  if cols = 0 then invalid_arg "Matrix.of_arrays: empty rows";
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Matrix.of_arrays: ragged rows")
+    arr;
+  init ~rows ~cols (fun i j -> arr.(i).(j))
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix.get: index out of bounds";
+  Array.unsafe_get m.data ((i * m.cols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix.set: index out of bounds";
+  Array.unsafe_set m.data ((i * m.cols) + j) v
+
+let copy m = { m with data = Array.copy m.data }
+let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
+let row m i = Array.init m.cols (fun j -> get m i j)
+let col m j = Array.init m.rows (fun i -> get m i j)
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (name ^ ": shape mismatch")
+
+let add a b =
+  check_same "Matrix.add" a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same "Matrix.sub" a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale alpha m = { m with data = Array.map (fun x -> alpha *. x) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: shape mismatch";
+  let c = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Matrix.mul_vec: shape mismatch";
+  Array.init m.rows (fun i -> Safe_float.dot (row m i) v)
+
+let vec_mul v m =
+  if m.rows <> Array.length v then invalid_arg "Matrix.vec_mul: shape mismatch";
+  Array.init m.cols (fun j -> Safe_float.dot v (col m j))
+
+let pow m k =
+  if m.rows <> m.cols then invalid_arg "Matrix.pow: non-square";
+  if k < 0 then invalid_arg "Matrix.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+  in
+  go (identity m.rows) m k
+
+let map f m = { m with data = Array.map f m.data }
+
+let submatrix m ~row_lo ~row_hi ~col_lo ~col_hi =
+  if
+    row_lo < 0 || row_hi >= m.rows || col_lo < 0 || col_hi >= m.cols
+    || row_lo > row_hi || col_lo > col_hi
+  then invalid_arg "Matrix.submatrix: bad bounds";
+  init
+    ~rows:(row_hi - row_lo + 1)
+    ~cols:(col_hi - col_lo + 1)
+    (fun i j -> get m (row_lo + i) (col_lo + j))
+
+let row_sums m = Array.init m.rows (fun i -> Safe_float.sum (row m i))
+
+let norm_inf m =
+  let sums = Array.init m.rows (fun i -> Vector.norm1 (row m i)) in
+  Array.fold_left Float.max 0. sums
+
+let approx_eq ?rtol ?atol a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2
+       (fun x y -> Safe_float.approx_eq ?rtol ?atol x y)
+       a.data b.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "%a@," Vector.pp (row m i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Dense row-major float matrices.
+
+    Sized for Markov-chain work: a few thousand states at most.  All
+    operations allocate fresh results; in-place variants are not
+    exposed. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val identity : int -> t
+val of_arrays : float array array -> t
+(** Rows must be non-empty and of equal length. *)
+
+val to_arrays : t -> float array array
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+
+val row : t -> int -> Vector.t
+val col : t -> int -> Vector.t
+
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vector.t -> Vector.t
+val vec_mul : Vector.t -> t -> Vector.t
+(** Row-vector times matrix. *)
+
+val pow : t -> int -> t
+(** Matrix power by repeated squaring; exponent must be non-negative
+    and the matrix square. *)
+
+val map : (float -> float) -> t -> t
+val submatrix : t -> row_lo:int -> row_hi:int -> col_lo:int -> col_hi:int -> t
+(** Inclusive index bounds. *)
+
+val row_sums : t -> Vector.t
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

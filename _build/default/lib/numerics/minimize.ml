@@ -1,0 +1,169 @@
+type result = { x : float; fx : float; iterations : int }
+
+let invphi = (sqrt 5. -. 1.) /. 2. (* 1/φ *)
+
+let golden ?(tol = 1e-10) ?(max_iter = 200) ~f a b =
+  let a = ref (Float.min a b) and b = ref (Float.max a b) in
+  let c = ref (!b -. (invphi *. (!b -. !a))) in
+  let d = ref (!a +. (invphi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  let iter = ref 0 in
+  while
+    Float.abs (!b -. !a) > tol *. (Float.abs !a +. Float.abs !b +. 1.)
+    && !iter < max_iter
+  do
+    incr iter;
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (invphi *. (!b -. !a));
+      fc := f !c
+    end else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (invphi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  { x; fx = f x; iterations = !iter }
+
+(* Brent's minimization, after Numerical Recipes' transcription of
+   Brent (1973), ch. 5. *)
+let brent ?(tol = 1e-10) ?(max_iter = 200) ~f a b =
+  let cgold = 0.381966 in
+  let zeps = 1e-18 in
+  let a = ref (Float.min a b) and b = ref (Float.max a b) in
+  let x = ref (!a +. (cgold *. (!b -. !a))) in
+  let w = ref !x and v = ref !x in
+  let fx = ref (f !x) in
+  let fw = ref !fx and fv = ref !fx in
+  let d = ref 0. and e = ref 0. in
+  let result = ref None in
+  let iter = ref 0 in
+  while !result = None && !iter < max_iter do
+    incr iter;
+    let xm = 0.5 *. (!a +. !b) in
+    let tol1 = (tol *. Float.abs !x) +. zeps in
+    let tol2 = 2. *. tol1 in
+    if Float.abs (!x -. xm) <= tol2 -. (0.5 *. (!b -. !a)) then
+      result := Some { x = !x; fx = !fx; iterations = !iter }
+    else begin
+      let use_golden = ref true in
+      if Float.abs !e > tol1 then begin
+        (* parabolic fit through x, v, w *)
+        let r = (!x -. !w) *. (!fx -. !fv) in
+        let q = (!x -. !v) *. (!fx -. !fw) in
+        let p = ((!x -. !v) *. q) -. ((!x -. !w) *. r) in
+        let q = 2. *. (q -. r) in
+        let p = if q > 0. then -.p else p in
+        let q = Float.abs q in
+        let etemp = !e in
+        e := !d;
+        if
+          Float.abs p < Float.abs (0.5 *. q *. etemp)
+          && p > q *. (!a -. !x)
+          && p < q *. (!b -. !x)
+        then begin
+          d := p /. q;
+          let u = !x +. !d in
+          if u -. !a < tol2 || !b -. u < tol2 then
+            d := if xm >= !x then tol1 else -.tol1;
+          use_golden := false
+        end
+      end;
+      if !use_golden then begin
+        e := (if !x >= xm then !a else !b) -. !x;
+        d := cgold *. !e
+      end;
+      let u =
+        if Float.abs !d >= tol1 then !x +. !d
+        else !x +. (if !d >= 0. then tol1 else -.tol1)
+      in
+      let fu = f u in
+      if fu <= !fx then begin
+        if u >= !x then a := !x else b := !x;
+        v := !w; fv := !fw;
+        w := !x; fw := !fx;
+        x := u; fx := fu
+      end else begin
+        if u < !x then a := u else b := u;
+        if fu <= !fw || !w = !x then begin
+          v := !w; fv := !fw;
+          w := u; fw := fu
+        end else if fu <= !fv || !v = !x || !v = !w then begin
+          v := u;
+          fv := fu
+        end
+      end
+    end
+  done;
+  match !result with
+  | Some r -> r
+  | None -> { x = !x; fx = !fx; iterations = !iter }
+
+let grid_then_brent ?(samples = 256) ?(tol = 1e-10) ~f a b =
+  if samples < 2 then invalid_arg "Minimize.grid_then_brent: samples < 2";
+  let lo = Float.min a b and hi = Float.max a b in
+  let h = (hi -. lo) /. float_of_int samples in
+  let best_i = ref 0 and best_f = ref (f lo) in
+  for i = 1 to samples do
+    let fx = f (lo +. (float_of_int i *. h)) in
+    if fx < !best_f then begin
+      best_f := fx;
+      best_i := i
+    end
+  done;
+  let l = lo +. (h *. float_of_int (max 0 (!best_i - 1))) in
+  let r = lo +. (h *. float_of_int (min samples (!best_i + 1))) in
+  let polished = brent ~tol ~f l r in
+  (* The polish can only improve on the grid incumbent; keep the grid
+     point if Brent landed on a worse local feature. *)
+  if polished.fx <= !best_f then polished
+  else
+    { x = lo +. (h *. float_of_int !best_i);
+      fx = !best_f;
+      iterations = polished.iterations }
+
+let argmin_int ~lo ~hi f =
+  if lo > hi then invalid_arg "Minimize.argmin_int: lo > hi";
+  let best = ref lo and best_f = ref (f lo) in
+  for k = lo + 1 to hi do
+    let fk = f k in
+    if fk < !best_f then begin
+      best := k;
+      best_f := fk
+    end
+  done;
+  (!best, !best_f)
+
+let argmin_int_hull ~lo ?start ?(patience = 8) f =
+  let start = match start with Some s -> max lo s | None -> lo in
+  let best = ref start and best_f = ref (f start) in
+  (* walk down first, in case start overshoots the minimum *)
+  let k = ref (start - 1) in
+  let misses = ref 0 in
+  while !k >= lo && !misses < patience do
+    let fk = f !k in
+    if fk < !best_f then begin
+      best := !k;
+      best_f := fk;
+      misses := 0
+    end else incr misses;
+    decr k
+  done;
+  (* then walk up *)
+  let k = ref (start + 1) in
+  let misses = ref 0 in
+  while !misses < patience do
+    let fk = f !k in
+    if fk < !best_f then begin
+      best := !k;
+      best_f := fk;
+      misses := 0
+    end else incr misses;
+    incr k
+  done;
+  (!best, !best_f)

@@ -1,0 +1,83 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 (Steele, Lea, Flood 2014): a tiny generator with excellent
+   statistical behaviour for its cost, and trivially splittable. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let uint64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = uint64 t in
+  { state = mix seed }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* rejection sampling on the top bits to avoid modulo bias *)
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (uint64 t) 1 (* 63 bits, non-negative *) in
+    let max_fair = Int64.sub Int64.max_int (Int64.rem Int64.max_int b) in
+    if raw >= max_fair then draw () else Int64.to_int (Int64.rem raw b)
+  in
+  draw ()
+
+let float t =
+  (* top 53 bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let bool t p =
+  if not (Safe_float.is_probability p) then invalid_arg "Rng.bool: p not in [0,1]";
+  float t < p
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate <= 0";
+  (* -log U / rate; use 1 - float to exclude 0 *)
+  -.Float.log1p (-.float t) /. rate
+
+let normal t ~mu ~sigma =
+  let u1 = 1. -. float t (* in (0, 1] so log is safe *) in
+  let u2 = float t in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let choose_weighted t weights =
+  let total =
+    Array.fold_left
+      (fun acc w ->
+        if w < 0. then invalid_arg "Rng.choose_weighted: negative weight";
+        acc +. w)
+      0. weights
+  in
+  if total <= 0. then invalid_arg "Rng.choose_weighted: zero total weight";
+  let target = float t *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,68 @@
+let epsilon = Stdlib.epsilon_float
+
+let approx_eq ?(rtol = 1e-9) ?(atol = 0.) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else if a = b then true (* covers equal infinities *)
+  else if not (Float.is_finite a && Float.is_finite b) then false
+  else Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Safe_float.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x
+
+let clamp_probability x = clamp ~lo:0. ~hi:1. x
+
+let log1mexp x =
+  if x >= 0. then invalid_arg "Safe_float.log1mexp: argument must be negative";
+  (* Mächler's recipe: switch branches at log 2 for best accuracy. *)
+  if x > -.Float.log 2. then log (-.Float.expm1 x) else Float.log1p (-.exp x)
+
+let log_sum_exp a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. Float.log1p (exp (lo -. hi))
+
+let log_diff_exp a b =
+  if b = neg_infinity then a
+  else if a < b then invalid_arg "Safe_float.log_diff_exp: a < b"
+  else if a = b then neg_infinity
+  else a +. log1mexp (b -. a)
+
+(* Neumaier's improvement of Kahan summation: track the compensation of
+   whichever operand has the larger magnitude. *)
+let sum xs =
+  let s = ref 0. and comp = ref 0. in
+  Array.iter
+    (fun x ->
+      let t = !s +. x in
+      if Float.abs !s >= Float.abs x then comp := !comp +. ((!s -. t) +. x)
+      else comp := !comp +. ((x -. t) +. !s);
+      s := t)
+    xs;
+  !s +. !comp
+
+let sum_list xs =
+  let s = ref 0. and comp = ref 0. in
+  List.iter
+    (fun x ->
+      let t = !s +. x in
+      if Float.abs !s >= Float.abs x then comp := !comp +. ((!s -. t) +. x)
+      else comp := !comp +. ((x -. t) +. !s);
+      s := t)
+    xs;
+  !s +. !comp
+
+let dot a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Safe_float.dot: length mismatch";
+  sum (Array.init n (fun i -> a.(i) *. b.(i)))
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Safe_float.mean: empty array";
+  sum xs /. float_of_int n
+
+let is_probability x = (not (Float.is_nan x)) && x >= 0. && x <= 1.
+let finite x = Float.is_finite x

@@ -1,0 +1,55 @@
+(** Floating-point helpers used throughout the numeric substrate.
+
+    The zeroconf cost model mixes quantities spanning more than 50
+    orders of magnitude (error costs around [1e35] against probabilities
+    down to [1e-120]), so the rest of the library leans on the
+    cancellation-free primitives collected here. *)
+
+val epsilon : float
+(** Machine epsilon for 64-bit floats ([Stdlib.epsilon_float]). *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_eq ~rtol ~atol a b] holds when
+    [|a - b| <= atol + rtol * max |a| |b|].  Defaults: [rtol = 1e-9],
+    [atol = 0.].  [nan] is never approximately equal to anything;
+    equal infinities are. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] bounds [x] into [\[lo, hi\]].  Raises
+    [Invalid_argument] if [lo > hi]. *)
+
+val clamp_probability : float -> float
+(** Clamp into [\[0, 1\]]; intended for values that are probabilities up
+    to rounding noise. *)
+
+val log1mexp : float -> float
+(** [log1mexp x] computes [log (1 - exp x)] accurately for [x < 0].
+    Raises [Invalid_argument] for [x >= 0]. *)
+
+val log_sum_exp : float -> float -> float
+(** [log_sum_exp a b = log (exp a + exp b)] without overflow; accepts
+    [neg_infinity] for either argument. *)
+
+val log_diff_exp : float -> float -> float
+(** [log_diff_exp a b = log (exp a - exp b)] for [a >= b]; raises
+    [Invalid_argument] when [a < b]. *)
+
+val sum : float array -> float
+(** Kahan–Babuska (Neumaier) compensated sum. *)
+
+val sum_list : float list -> float
+(** Compensated sum over a list. *)
+
+val dot : float array -> float array -> float
+(** Compensated dot product.  Raises [Invalid_argument] on length
+    mismatch. *)
+
+val mean : float array -> float
+(** Compensated arithmetic mean.  Raises [Invalid_argument] on an empty
+    array. *)
+
+val is_probability : float -> bool
+(** True when the value lies in [\[0, 1\]] (and is not [nan]). *)
+
+val finite : float -> bool
+(** True for neither [nan] nor infinite. *)

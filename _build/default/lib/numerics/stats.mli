@@ -1,0 +1,43 @@
+(** Descriptive statistics and interval estimates for the Monte-Carlo
+    side of the reproduction (simulation vs analytic model). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;  (** Unbiased (n-1) sample variance; [0.] if n < 2. *)
+  std : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean_ci : ?confidence:float -> float array -> float * float
+(** Normal-approximation confidence interval for the mean
+    (default [confidence = 0.95]).  Returns [(lo, hi)]. *)
+
+val proportion_ci : ?confidence:float -> successes:int -> int -> float * float
+(** Wilson score interval for a binomial proportion — well-behaved even
+    when [successes] is 0, which matters for rare collision events. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] with linear interpolation between order statistics;
+    [p] in [\[0, 1\]].  Does not mutate the input. *)
+
+val median : float array -> float
+
+type histogram = {
+  edges : float array;   (** [bins + 1] bin edges. *)
+  counts : int array;    (** [bins] counts. *)
+}
+
+val histogram : ?bins:int -> float array -> histogram
+(** Equal-width histogram over the data range (default [bins = 20]). *)
+
+val ecdf : float array -> float -> float
+(** [ecdf xs] is the empirical CDF of the sample, as a function. *)
+
+val normal_quantile : float -> float
+(** Inverse standard-normal CDF (Acklam's rational approximation,
+    |error| < 1.15e-9).  Argument in (0, 1). *)

@@ -1,0 +1,51 @@
+type t = float array
+
+let make = Array.make
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+let of_list = Array.of_list
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let add a b =
+  check_dims "Vector.add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "Vector.sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale alpha a = Array.map (fun x -> alpha *. x) a
+let dot = Safe_float.dot
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+let norm1 a = Safe_float.sum (Array.map Float.abs a)
+let norm2 a = sqrt (Safe_float.sum (Array.map (fun x -> x *. x) a))
+
+let axpy ~alpha x y =
+  check_dims "Vector.axpy" x y;
+  Array.mapi (fun i xi -> (alpha *. xi) +. y.(i)) x
+
+let sum = Safe_float.sum
+
+let max_index a =
+  if Array.length a = 0 then invalid_arg "Vector.max_index: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let approx_eq ?rtol ?atol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Safe_float.approx_eq ?rtol ?atol x y) a b
+
+let pp ppf a =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    a

@@ -1,0 +1,28 @@
+(** Dense float vectors (thin layer over [float array] with
+    compensated reductions). *)
+
+type t = float array
+
+val make : int -> float -> t
+val init : int -> (int -> float) -> t
+val dim : t -> int
+val copy : t -> t
+val of_list : float list -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm_inf : t -> float
+val norm1 : t -> float
+val norm2 : t -> float
+val axpy : alpha:float -> t -> t -> t
+(** [axpy ~alpha x y = alpha * x + y]. *)
+
+val sum : t -> float
+val max_index : t -> int
+(** Index of the maximum entry (first on ties).  Raises
+    [Invalid_argument] on the empty vector. *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/output/ascii_chart.ml: Array Axis Buffer Char Float List Printf String

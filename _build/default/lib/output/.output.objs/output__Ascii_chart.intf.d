@@ -1,0 +1,1 @@
+lib/output/ascii_chart.mli: Axis

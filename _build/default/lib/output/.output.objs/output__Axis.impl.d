@@ -1,0 +1,1 @@
+lib/output/axis.ml: Array Float List Numerics Printf

@@ -1,0 +1,1 @@
+lib/output/chart.ml: Array Axis Float List Svg

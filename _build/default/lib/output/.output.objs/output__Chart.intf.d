@@ -1,0 +1,1 @@
+lib/output/chart.mli: Axis Svg

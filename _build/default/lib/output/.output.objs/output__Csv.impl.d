@@ -1,0 +1,1 @@
+lib/output/csv.ml: Array Fun List Numerics Printf String

@@ -1,0 +1,1 @@
+lib/output/heatmap.ml: Array Float List Numerics Printf Svg

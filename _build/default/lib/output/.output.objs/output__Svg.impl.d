@@ -1,0 +1,1 @@
+lib/output/svg.ml: Buffer Fun List Printf String

@@ -1,0 +1,1 @@
+lib/output/table.ml: Format List Printf String

@@ -1,0 +1,86 @@
+type series = {
+  label : string;
+  points : (float * float) array;
+  style : [ `Solid | `Dashed | `Dotted ];
+}
+
+let series ?(style = `Solid) ~label points = { label; points; style }
+
+type t = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_axis : Axis.t;
+  y_axis : Axis.t;
+  series : series list;
+}
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+     "#e377c2"; "#17becf"; "#bcbd22"; "#7f7f7f" |]
+
+let dash_of_style = function
+  | `Solid -> None
+  | `Dashed -> Some "6,4"
+  | `Dotted -> Some "2,3"
+
+let render ?(width = 720) ?(height = 480) t =
+  let svg = Svg.create ~width ~height in
+  let ml = 70. and mr = 150. and mt = 40. and mb = 55. in
+  let plot_w = float_of_int width -. ml -. mr in
+  let plot_h = float_of_int height -. mt -. mb in
+  let px v = ml +. (Axis.project t.x_axis v *. plot_w) in
+  let py v = mt +. plot_h -. (Axis.project t.y_axis v *. plot_h) in
+  (* frame and gridlines *)
+  Svg.rect svg ~stroke:"#888" (ml, mt) (plot_w, plot_h);
+  List.iter
+    (fun (v, lbl) ->
+      let x = px v in
+      Svg.line svg ~stroke:"#ddd" (x, mt) (x, mt +. plot_h);
+      Svg.text svg ~anchor:"middle" ~x ~y:(mt +. plot_h +. 16.) lbl)
+    (Axis.ticks t.x_axis);
+  List.iter
+    (fun (v, lbl) ->
+      let y = py v in
+      Svg.line svg ~stroke:"#ddd" (ml, y) (ml +. plot_w, y);
+      Svg.text svg ~anchor:"end" ~x:(ml -. 6.) ~y:(y +. 4.) lbl)
+    (Axis.ticks t.y_axis);
+  (* series, clipped to the frame by breaking the polyline *)
+  let in_range axis v = v >= Axis.lo axis && v <= Axis.hi axis in
+  List.iteri
+    (fun idx s ->
+      let colour = palette.(idx mod Array.length palette) in
+      let dash = dash_of_style s.style in
+      let flush segment =
+        match segment with
+        | [] | [ _ ] -> ()
+        | pts -> Svg.polyline svg ~stroke:colour ?dash (List.rev pts)
+      in
+      let segment = ref [] in
+      Array.iter
+        (fun (x, y) ->
+          if Float.is_finite y && in_range t.x_axis x && in_range t.y_axis y
+          then segment := (px x, py y) :: !segment
+          else begin
+            flush !segment;
+            segment := []
+          end)
+        s.points;
+      flush !segment;
+      (* legend entry *)
+      let ly = mt +. 10. +. (float_of_int idx *. 18.) in
+      let lx = ml +. plot_w +. 12. in
+      Svg.line svg ~stroke:colour ~stroke_width:2. ?dash (lx, ly)
+        (lx +. 24., ly);
+      Svg.text svg ~x:(lx +. 30.) ~y:(ly +. 4.) s.label)
+    t.series;
+  (* titles *)
+  Svg.text svg ~size:14 ~anchor:"middle"
+    ~x:(ml +. (plot_w /. 2.)) ~y:(mt -. 14.) t.title;
+  Svg.text svg ~anchor:"middle" ~x:(ml +. (plot_w /. 2.))
+    ~y:(float_of_int height -. 14.) t.x_label;
+  Svg.text svg ~anchor:"middle" ~x:16. ~y:(mt +. (plot_h /. 2.))
+    t.y_label;
+  svg
+
+let save ?width ?height t path = Svg.save (render ?width ?height t) path

@@ -1,0 +1,28 @@
+(** Multi-series line charts rendered to SVG — the renderer behind the
+    regenerated Figures 2–6. *)
+
+type series = {
+  label : string;
+  points : (float * float) array;
+  style : [ `Solid | `Dashed | `Dotted ];
+}
+
+val series :
+  ?style:[ `Solid | `Dashed | `Dotted ] -> label:string ->
+  (float * float) array -> series
+
+type t = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_axis : Axis.t;
+  y_axis : Axis.t;
+  series : series list;
+}
+
+val render : ?width:int -> ?height:int -> t -> Svg.t
+(** Points outside the axis ranges are clipped (the polyline is broken
+    there), matching how the paper's plot frames hide the huge [C_1],
+    [C_2] values. *)
+
+val save : ?width:int -> ?height:int -> t -> string -> unit

@@ -1,0 +1,21 @@
+(** Grid heatmaps (SVG): the natural rendering for the cost landscape
+    [C(n, r)] over the design grid. *)
+
+type t = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_ticks : string array;  (** One label per column. *)
+  y_ticks : string array;  (** One label per row. *)
+  values : float array array;
+      (** [values.(row).(col)]; rows render bottom-up so the first row
+          sits at the bottom, matching axis convention. *)
+}
+
+val render : ?width:int -> ?height:int -> t -> Svg.t
+(** Colours run from light (minimum) to dark red (maximum) over the
+    finite values; non-finite cells render grey.  A min/max legend is
+    included.  Raises [Invalid_argument] on ragged or empty data or
+    label-dimension mismatches. *)
+
+val save : ?width:int -> ?height:int -> t -> string -> unit

@@ -1,0 +1,36 @@
+(** Minimal SVG document builder — enough vocabulary for line charts:
+    paths, lines, rectangles, text, and dash patterns.  Geometric
+    arguments are [(x, y)] pairs in user units. *)
+
+type t
+
+val create : width:int -> height:int -> t
+val width : t -> int
+val height : t -> int
+
+val line :
+  t -> ?stroke:string -> ?stroke_width:float -> ?dash:string ->
+  float * float -> float * float -> unit
+(** [line t p1 p2]. *)
+
+val polyline :
+  t -> ?stroke:string -> ?stroke_width:float -> ?dash:string ->
+  (float * float) list -> unit
+(** Rendered as one open path. *)
+
+val rect :
+  t -> ?fill:string -> ?stroke:string -> float * float -> float * float -> unit
+(** [rect t (x, y) (w, h)]. *)
+
+val circle : t -> ?fill:string -> float * float -> float -> unit
+(** [circle t centre radius]. *)
+
+val text :
+  t -> ?size:int -> ?anchor:string -> ?fill:string -> x:float -> y:float ->
+  string -> unit
+(** [anchor] is an SVG [text-anchor]: ["start"], ["middle"], or
+    ["end"]. *)
+
+val to_string : t -> string
+val save : t -> string -> unit
+(** Write the document to a file. *)

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Dist List Numerics Printf Zeroconf

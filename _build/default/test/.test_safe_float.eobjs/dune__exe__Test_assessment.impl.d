@@ -1,0 +1,1 @@
+test/test_assessment.ml: Alcotest Format List Printf String Zeroconf

@@ -1,0 +1,1 @@
+test/test_attempts.ml: Alcotest Dist List Netsim Numerics Printf Zeroconf

@@ -1,0 +1,1 @@
+test/test_calibrate.ml: Alcotest Dist Float Printf Zeroconf

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Dist Dtmc Float List Numerics Printf Zeroconf

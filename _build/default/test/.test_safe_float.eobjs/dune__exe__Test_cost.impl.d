@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Dist List Numerics Printf QCheck QCheck_alcotest Zeroconf

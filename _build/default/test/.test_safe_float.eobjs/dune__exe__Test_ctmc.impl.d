@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Dtmc List Numerics Printf

@@ -1,0 +1,1 @@
+test/test_derivative.ml: Alcotest Float List Numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_distributions.ml: Alcotest Array Dist Float List Numerics Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_drm.ml: Alcotest Array Dist Dtmc Numerics Printf Zeroconf

@@ -1,0 +1,1 @@
+test/test_dtmc.ml: Alcotest Array Dtmc Numerics Printf

@@ -1,0 +1,1 @@
+test/test_dtmc_advanced.ml: Alcotest Array Dtmc List Numerics Printf Zeroconf

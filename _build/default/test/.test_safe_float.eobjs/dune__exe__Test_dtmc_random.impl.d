@@ -1,0 +1,1 @@
+test/test_dtmc_random.ml: Alcotest Array Dtmc List Numerics Printf QCheck QCheck_alcotest

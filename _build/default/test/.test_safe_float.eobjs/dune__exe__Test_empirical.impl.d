@@ -1,0 +1,1 @@
+test/test_empirical.ml: Alcotest Array Dist Float Gen List Numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Dtmc Float List Printf Zeroconf

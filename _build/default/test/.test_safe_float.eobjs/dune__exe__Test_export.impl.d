@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Dtmc Hashtbl List Numerics Option Printf String Zeroconf

@@ -1,0 +1,1 @@
+test/test_fit.ml: Alcotest Array Dist Float Numerics Option Printf QCheck QCheck_alcotest String Zeroconf

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Fun List Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_importance.ml: Alcotest Dist Dtmc List Numerics Printf Zeroconf

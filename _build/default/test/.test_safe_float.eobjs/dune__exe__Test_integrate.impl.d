@@ -1,0 +1,1 @@
+test/test_integrate.ml: Alcotest Dist Float List Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Float Gen List Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_latency.ml: Alcotest Array Dist Float List Netsim Numerics Printf Zeroconf

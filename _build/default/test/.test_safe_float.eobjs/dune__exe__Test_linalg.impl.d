@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Gen List Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logspace.ml: Alcotest Float List Numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lumping.ml: Alcotest Array Dtmc List Numerics Printf Zeroconf

@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Alcotest Dist Netsim Numerics Printf

@@ -1,0 +1,1 @@
+test/test_mdp.ml: Alcotest Array Dtmc Float List Printf

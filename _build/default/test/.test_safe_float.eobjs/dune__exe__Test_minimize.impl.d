@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Array Float List Numerics QCheck QCheck_alcotest

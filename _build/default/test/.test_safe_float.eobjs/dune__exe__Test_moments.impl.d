@@ -1,0 +1,1 @@
+test/test_moments.ml: Alcotest Array Dist Float List Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Array Dist List Netsim Numerics Printf

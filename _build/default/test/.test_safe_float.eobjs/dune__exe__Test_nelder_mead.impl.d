@@ -1,0 +1,1 @@
+test/test_nelder_mead.ml: Alcotest Array Dist Float Numerics Printf Zeroconf

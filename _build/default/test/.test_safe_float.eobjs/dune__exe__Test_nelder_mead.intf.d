@@ -1,0 +1,1 @@
+test/test_nelder_mead.mli:

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Dist Float List Netsim Numerics Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_newcomer.ml: Alcotest Array Dist Float List Netsim Numerics Printf String Zeroconf

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Dist Float List Numerics Printf Zeroconf

@@ -1,0 +1,1 @@
+test/test_output.ml: Alcotest Array Filename Float Fun List Output Printf String Sys

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Dist Format List Option String Zeroconf

@@ -1,0 +1,1 @@
+test/test_pctl.ml: Alcotest Array Dtmc Numerics Printf Zeroconf

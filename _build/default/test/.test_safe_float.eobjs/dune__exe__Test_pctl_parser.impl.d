@@ -1,0 +1,1 @@
+test/test_pctl_parser.ml: Alcotest Dtmc Format List Zeroconf

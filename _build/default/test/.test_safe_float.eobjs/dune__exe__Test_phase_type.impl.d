@@ -1,0 +1,1 @@
+test/test_phase_type.ml: Alcotest Array Dist Float List Numerics Option Printf Zeroconf

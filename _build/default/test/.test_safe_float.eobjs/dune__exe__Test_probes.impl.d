@@ -1,0 +1,1 @@
+test/test_probes.ml: Alcotest Array Dist Float List Numerics Printf QCheck QCheck_alcotest Zeroconf

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Dist Float List Numerics Printf QCheck QCheck_alcotest Zeroconf

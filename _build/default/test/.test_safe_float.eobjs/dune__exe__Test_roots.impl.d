@@ -1,0 +1,1 @@
+test/test_roots.ml: Alcotest Float List Numerics QCheck QCheck_alcotest

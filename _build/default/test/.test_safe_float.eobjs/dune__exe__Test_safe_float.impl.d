@@ -1,0 +1,1 @@
+test/test_safe_float.ml: Alcotest Array Float Gen List Numerics QCheck QCheck_alcotest

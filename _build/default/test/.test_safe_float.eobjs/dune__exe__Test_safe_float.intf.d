@@ -1,0 +1,1 @@
+test/test_safe_float.mli:

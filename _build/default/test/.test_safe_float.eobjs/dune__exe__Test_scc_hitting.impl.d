@@ -1,0 +1,1 @@
+test/test_scc_hitting.ml: Alcotest Array Dtmc List Numerics Zeroconf

@@ -1,0 +1,1 @@
+test/test_semi_markov.ml: Alcotest Array Dtmc Numerics Printf Zeroconf

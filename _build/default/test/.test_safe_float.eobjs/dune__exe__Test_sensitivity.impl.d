@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Float List Numerics Printf Zeroconf

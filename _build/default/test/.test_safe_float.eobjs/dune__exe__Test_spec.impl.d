@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Dist Float Netsim Numerics Printf Zeroconf

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen List Numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_uncertainty.ml: Alcotest Array Dist Format List Numerics Printf String Zeroconf

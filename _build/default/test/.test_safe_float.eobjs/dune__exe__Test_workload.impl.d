@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dist List Netsim Numerics Printf

@@ -1,0 +1,167 @@
+module A = Zeroconf.Attempts
+module Params = Zeroconf.Params
+
+let check_rel ?(rtol = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.12g vs %.12g" msg expected actual)
+    true
+    (Numerics.Safe_float.approx_eq ~rtol expected actual)
+
+(* a crowded scenario where the refinements actually bite *)
+let crowded =
+  Params.v ~name:"crowded"
+    ~delay:(Dist.Families.shifted_exponential ~mass:0.9 ~rate:2. ~delay:0.5 ())
+    ~q:0. (* ignored by Attempts *) ~probe_cost:1. ~error_cost:100.
+
+let occupied = 200
+let pool = 256
+
+let test_baseline_reproduces_eq3_eq4 () =
+  (* the headline consistency check: with no refinement the attempt
+     decomposition is algebraically identical to the closed forms *)
+  List.iter
+    (fun (n, r) ->
+      let refinement = A.no_refinement ~occupied ~pool () in
+      let a = A.analyze crowded refinement ~n ~r in
+      let q = float_of_int occupied /. float_of_int pool in
+      let p = Params.with_q crowded q in
+      check_rel (Printf.sprintf "cost n=%d r=%g" n r) (Zeroconf.Cost.mean p ~n ~r)
+        a.A.mean_cost;
+      check_rel
+        (Printf.sprintf "error n=%d r=%g" n r)
+        (Zeroconf.Reliability.error_probability p ~n ~r)
+        a.A.error_probability)
+    [ (1, 0.6); (2, 1.); (3, 1.); (4, 2.); (6, 0.3) ]
+
+let test_baseline_on_paper_scenario () =
+  let refinement = A.no_refinement ~occupied:1000 () in
+  let a = A.analyze Params.figure2 refinement ~n:4 ~r:2. in
+  check_rel "figure2 draft cost" (Zeroconf.Cost.mean Params.figure2 ~n:4 ~r:2.)
+    a.A.mean_cost
+
+let test_mean_attempts_geometric () =
+  (* baseline attempts are geometric with restart prob q (1 - pi_n):
+     mean = 1 / (1 - q (1 - pi_n)) *)
+  let refinement = A.no_refinement ~occupied ~pool () in
+  let n = 3 and r = 1. in
+  let a = A.analyze crowded refinement ~n ~r in
+  let q = float_of_int occupied /. float_of_int pool in
+  let pi_n = Zeroconf.Probes.pi crowded ~n ~r in
+  check_rel "geometric mean attempts" (1. /. (1. -. (q *. (1. -. pi_n))))
+    a.A.mean_attempts
+
+let test_blacklist_reduces_attempts_and_cost () =
+  let base = A.no_refinement ~occupied ~pool () in
+  let black = { base with A.blacklist = true } in
+  let n = 3 and r = 1. in
+  let a0 = A.analyze crowded base ~n ~r in
+  let a1 = A.analyze crowded black ~n ~r in
+  Alcotest.(check bool) "fewer attempts" true (a1.A.mean_attempts < a0.A.mean_attempts);
+  Alcotest.(check bool) "cheaper" true (a1.A.mean_cost < a0.A.mean_cost);
+  Alcotest.(check bool) "no less reliable" true
+    (a1.A.error_probability <= a0.A.error_probability +. 1e-15)
+
+let test_blacklist_terminates_on_tiny_pool () =
+  (* 3 occupied out of 4: after three aborts the next draw is free for
+     sure, so attempts are bounded by 4 *)
+  let refinement =
+    { A.blacklist = true; rate_limit = None; occupied = 3; pool = 4 }
+  in
+  let a = A.analyze crowded refinement ~n:2 ~r:1. in
+  Alcotest.(check bool)
+    (Printf.sprintf "attempts %.3f <= 4" a.A.mean_attempts)
+    true
+    (a.A.mean_attempts <= 4. +. 1e-9);
+  Alcotest.(check (float 1e-12)) "no truncation" 0. a.A.truncated_mass
+
+let test_rate_limit_adds_delay_only () =
+  let base = A.no_refinement ~occupied ~pool () in
+  let limited = { base with A.rate_limit = Some (2, 10.) } in
+  let n = 3 and r = 1. in
+  let a0 = A.analyze crowded base ~n ~r in
+  let a1 = A.analyze crowded limited ~n ~r in
+  check_rel "error probability unchanged" a0.A.error_probability
+    a1.A.error_probability;
+  check_rel "attempts unchanged" a0.A.mean_attempts a1.A.mean_attempts;
+  Alcotest.(check bool) "time grows" true (a1.A.mean_time > a0.A.mean_time);
+  (* the extra cost equals the extra time (1:1 time-to-cost) *)
+  check_rel ~rtol:1e-9 "cost grows by the delay"
+    (a1.A.mean_time -. a0.A.mean_time)
+    (a1.A.mean_cost -. a0.A.mean_cost)
+
+let test_rate_limit_threshold_zero_charges_from_second_attempt () =
+  let refinement =
+    { A.blacklist = false; rate_limit = Some (0, 100.); occupied; pool }
+  in
+  let no_limit = A.no_refinement ~occupied ~pool () in
+  let n = 2 and r = 0.5 in
+  let a = A.analyze crowded refinement ~n ~r in
+  let a0 = A.analyze crowded no_limit ~n ~r in
+  (* every attempt after the first pays 100: extra = 100 (E[attempts] - 1) *)
+  check_rel "delay accounting" (100. *. (a0.A.mean_attempts -. 1.))
+    (a.A.mean_time -. a0.A.mean_time)
+
+let test_matches_simulation () =
+  (* end-to-end: all four refinement combinations against the aggregate
+     simulator *)
+  let delay = crowded.Params.delay in
+  let n = 3 and r = 1. in
+  let rng = Numerics.Rng.create 99 in
+  List.iter
+    (fun (avoid, rate_limit) ->
+      let refinement = { A.blacklist = avoid; rate_limit; occupied; pool } in
+      let a = A.analyze crowded refinement ~n ~r in
+      let config =
+        { (Netsim.Newcomer.drm_config ~n ~r ~probe_cost:1. ~error_cost:100.) with
+          Netsim.Newcomer.avoid_failed = avoid;
+          Netsim.Newcomer.rate_limit }
+      in
+      let outcomes =
+        Netsim.Scenario.run_aggregate ~delay ~occupied ~pool_size:pool ~config
+          ~trials:15_000 ~rng ()
+      in
+      let agg = Netsim.Metrics.aggregate outcomes in
+      let lo, hi = agg.Netsim.Metrics.cost_ci in
+      Alcotest.(check bool)
+        (Printf.sprintf "blacklist=%b rl=%b: CI [%g, %g] covers %g" avoid
+           (rate_limit <> None) lo hi a.A.mean_cost)
+        true
+        (a.A.mean_cost > lo -. (0.03 *. a.A.mean_cost)
+        && a.A.mean_cost < hi +. (0.03 *. a.A.mean_cost)))
+    [ (false, None); (true, None); (false, Some (2, 10.)); (true, Some (2, 10.)) ]
+
+let test_compare_refinements_structure () =
+  let rows = A.compare_refinements crowded ~occupied ~pool ~n:3 ~r:1. () in
+  Alcotest.(check (list string)) "labels"
+    [ "baseline"; "blacklist"; "rate-limit"; "draft (both)" ]
+    (List.map fst rows)
+
+let test_guards () =
+  Alcotest.check_raises "occupied >= pool"
+    (Invalid_argument "Attempts: occupied outside [0, pool)") (fun () ->
+      ignore (A.no_refinement ~occupied:10 ~pool:10 ()));
+  let refinement = A.no_refinement ~occupied:10 ~pool:100 () in
+  Alcotest.check_raises "n = 0" (Invalid_argument "Attempts.analyze: n < 1")
+    (fun () -> ignore (A.analyze crowded refinement ~n:0 ~r:1.))
+
+let () =
+  Alcotest.run "attempts"
+    [ ( "baseline consistency",
+        [ Alcotest.test_case "reproduces Eq. 3/4" `Quick
+            test_baseline_reproduces_eq3_eq4;
+          Alcotest.test_case "paper scenario" `Quick test_baseline_on_paper_scenario;
+          Alcotest.test_case "geometric attempts" `Quick test_mean_attempts_geometric ] );
+      ( "blacklisting",
+        [ Alcotest.test_case "reduces attempts and cost" `Quick
+            test_blacklist_reduces_attempts_and_cost;
+          Alcotest.test_case "terminates on tiny pools" `Quick
+            test_blacklist_terminates_on_tiny_pool ] );
+      ( "rate limiting",
+        [ Alcotest.test_case "adds delay only" `Quick test_rate_limit_adds_delay_only;
+          Alcotest.test_case "threshold accounting" `Quick
+            test_rate_limit_threshold_zero_charges_from_second_attempt ] );
+      ( "validation",
+        [ Alcotest.test_case "matches simulation (4 variants)" `Slow
+            test_matches_simulation;
+          Alcotest.test_case "comparison table" `Quick test_compare_refinements_structure;
+          Alcotest.test_case "guards" `Quick test_guards ] ) ]

@@ -1,0 +1,152 @@
+module Ctmc = Dtmc.Ctmc
+module M = Numerics.Matrix
+module Ss = Dtmc.State_space
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* birth-death on two states: a <-> b with rates 2 and 3 *)
+let two_state =
+  Ctmc.create
+    ~states:(Ss.of_labels [ "a"; "b" ])
+    (M.of_arrays [| [| -2.; 2. |]; [| 3.; -3. |] |])
+
+(* pure death: a -> done at rate lambda *)
+let single_exp rate =
+  Ctmc.create
+    ~states:(Ss.of_labels [ "a"; "done" ])
+    (M.of_arrays [| [| -.rate; rate |]; [| 0.; 0. |] |])
+
+let test_validation () =
+  (try
+     ignore
+       (Ctmc.create
+          ~states:(Ss.of_labels [ "a"; "b" ])
+          (M.of_arrays [| [| -1.; 2. |]; [| 0.; 0. |] |]));
+     Alcotest.fail "accepted nonzero row sum"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Ctmc.create
+         ~states:(Ss.of_labels [ "a"; "b" ])
+         (M.of_arrays [| [| 1.; -1. |]; [| 0.; 0. |] |]));
+    Alcotest.fail "accepted negative off-diagonal"
+  with Invalid_argument _ -> ()
+
+let test_basic_accessors () =
+  Alcotest.(check int) "size" 2 (Ctmc.size two_state);
+  check_close "rate" 2. (Ctmc.rate two_state 0 1);
+  check_close "uniformization rate" 3. (Ctmc.uniformization_rate two_state);
+  Alcotest.(check bool) "not absorbing" false (Ctmc.is_absorbing two_state 0);
+  Alcotest.(check bool) "absorbing" true (Ctmc.is_absorbing (single_exp 1.) 1)
+
+let test_transient_exponential_decay () =
+  (* single exponential: P(still in a at t) = e^{-rate t} *)
+  let c = single_exp 2. in
+  List.iter
+    (fun t ->
+      let pi = Ctmc.transient c ~horizon:t [| 1.; 0. |] in
+      check_close ~tol:1e-10 (Printf.sprintf "survival at %g" t) (exp (-2. *. t)) pi.(0))
+    [ 0.1; 0.5; 1.; 3. ]
+
+let test_transient_two_state_closed_form () =
+  (* closed form: p_a(t) = 3/5 + 2/5 e^{-5t} starting from a *)
+  List.iter
+    (fun t ->
+      let pi = Ctmc.transient two_state ~horizon:t [| 1.; 0. |] in
+      check_close ~tol:1e-10
+        (Printf.sprintf "p_a(%g)" t)
+        (0.6 +. (0.4 *. exp (-5. *. t)))
+        pi.(0);
+      check_close ~tol:1e-10 "mass conserved" 1. (pi.(0) +. pi.(1)))
+    [ 0.05; 0.2; 1.; 4. ]
+
+let test_transient_long_horizon_stationary () =
+  let pi = Ctmc.transient two_state ~horizon:100. [| 1.; 0. |] in
+  check_close ~tol:1e-9 "stationary a" 0.6 pi.(0);
+  check_close ~tol:1e-9 "stationary b" 0.4 pi.(1)
+
+let test_embedded_chain () =
+  (* three states: x leaves at rate 3, split 1:2 to y and done *)
+  let c =
+    Ctmc.create
+      ~states:(Ss.of_labels [ "x"; "y"; "done" ])
+      (M.of_arrays
+         [| [| -3.; 1.; 2. |]; [| 0.; -1.; 1. |]; [| 0.; 0.; 0. |] |])
+  in
+  let jump = Ctmc.embedded c in
+  check_close "x -> y" (1. /. 3.) (Dtmc.Chain.prob jump 0 1);
+  check_close "x -> done" (2. /. 3.) (Dtmc.Chain.prob jump 0 2);
+  check_close "absorbing self-loop" 1. (Dtmc.Chain.prob jump 2 2)
+
+let test_absorption_cdf_erlang () =
+  (* two sequential rate-lambda phases: absorption time ~ Erlang-2 *)
+  let lambda = 4. in
+  let c =
+    Ctmc.create
+      ~states:(Ss.of_labels [ "p1"; "p2"; "done" ])
+      (M.of_arrays
+         [| [| -.lambda; lambda; 0. |];
+            [| 0.; -.lambda; lambda |];
+            [| 0.; 0.; 0. |] |])
+  in
+  List.iter
+    (fun t ->
+      let expected = 1. -. (exp (-.lambda *. t) *. (1. +. (lambda *. t))) in
+      check_close ~tol:1e-10
+        (Printf.sprintf "erlang-2 cdf at %g" t)
+        expected
+        (Ctmc.absorption_cdf c ~from:0 t))
+    [ 0.1; 0.25; 0.5; 1.; 2. ]
+
+let test_expected_absorption_time () =
+  let c = single_exp 5. in
+  check_close "mean 1/5" 0.2 (Ctmc.expected_absorption_time c ~from:0);
+  check_close "zero from absorbing" 0. (Ctmc.expected_absorption_time c ~from:1);
+  (* erlang-3: mean 3/rate *)
+  let lambda = 2. in
+  let erl =
+    Ctmc.create
+      ~states:(Ss.of_labels [ "p1"; "p2"; "p3"; "done" ])
+      (M.of_arrays
+         [| [| -.lambda; lambda; 0.; 0. |];
+            [| 0.; -.lambda; lambda; 0. |];
+            [| 0.; 0.; -.lambda; lambda |];
+            [| 0.; 0.; 0.; 0. |] |])
+  in
+  check_close "erlang-3 mean" 1.5 (Ctmc.expected_absorption_time erl ~from:0)
+
+let test_expected_absorption_requires_certainty () =
+  (* two communicating states with no exit: no absorption *)
+  try
+    ignore (Ctmc.expected_absorption_time two_state ~from:0);
+    Alcotest.fail "accepted a chain without absorption"
+  with Invalid_argument _ -> ()
+
+let test_large_mu_stability () =
+  (* stiff case: rate 1000 over horizon 1 gives mu = 1000; the Poisson
+     sum must stay normalized *)
+  let c = single_exp 1000. in
+  let v = Ctmc.absorption_cdf c ~from:0 1. in
+  check_close ~tol:1e-9 "fully absorbed" 1. v;
+  let early = Ctmc.absorption_cdf c ~from:0 1e-4 in
+  check_close ~tol:1e-7 "early cdf" (1. -. exp (-0.1)) early
+
+let () =
+  Alcotest.run "ctmc"
+    [ ( "construction",
+        [ Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "accessors" `Quick test_basic_accessors;
+          Alcotest.test_case "embedded" `Quick test_embedded_chain ] );
+      ( "transient",
+        [ Alcotest.test_case "exponential decay" `Quick
+            test_transient_exponential_decay;
+          Alcotest.test_case "two-state closed form" `Quick
+            test_transient_two_state_closed_form;
+          Alcotest.test_case "long horizon" `Quick test_transient_long_horizon_stationary;
+          Alcotest.test_case "stiff stability" `Quick test_large_mu_stability ] );
+      ( "absorption",
+        [ Alcotest.test_case "erlang cdf" `Quick test_absorption_cdf_erlang;
+          Alcotest.test_case "expected time" `Quick test_expected_absorption_time;
+          Alcotest.test_case "certainty required" `Quick
+            test_expected_absorption_requires_certainty ] ) ]

@@ -1,0 +1,148 @@
+module Drm = Zeroconf.Drm
+module Params = Zeroconf.Params
+module C = Dtmc.Chain
+module Ss = Dtmc.State_space
+
+let check_rel ?(rtol = 1e-9) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.12g vs %.12g" msg expected actual)
+    true
+    (Numerics.Safe_float.approx_eq ~rtol expected actual)
+
+let fig2 = Params.figure2
+
+let test_state_space_layout () =
+  (* the paper's table: start, 1st, ..., nth, error, ok *)
+  let drm = Drm.build fig2 ~n:4 ~r:2. in
+  let states = C.states drm.Drm.chain in
+  Alcotest.(check int) "n + 3 states" 7 (Ss.size states);
+  Alcotest.(check (array string)) "labels in paper order"
+    [| "start"; "1st"; "2nd"; "3rd"; "4th"; "error"; "ok" |]
+    (Ss.labels states);
+  Alcotest.(check int) "start is row 1" 0 drm.Drm.start;
+  Alcotest.(check int) "error is row n+2" 5 drm.Drm.error;
+  Alcotest.(check int) "ok is row n+3" 6 drm.Drm.ok
+
+let test_ordinal_labels_beyond_ten () =
+  let drm = Drm.build fig2 ~n:13 ~r:0.3 in
+  let states = C.states drm.Drm.chain in
+  Alcotest.(check bool) "11th..13th present" true
+    (Ss.mem states "11th" && Ss.mem states "12th" && Ss.mem states "13th");
+  Alcotest.(check bool) "21st-style suffixes unused here" true
+    (not (Ss.mem states "13rd"))
+
+let test_transition_probabilities_match_paper () =
+  let n = 3 and r = 1.5 in
+  let drm = Drm.build fig2 ~n ~r in
+  let c = drm.Drm.chain in
+  check_rel "start -> 1st is q" fig2.Params.q (C.prob_by_label c "start" "1st");
+  check_rel "start -> ok is 1 - q" (1. -. fig2.Params.q)
+    (C.prob_by_label c "start" "ok");
+  for i = 1 to n do
+    let p_i = Zeroconf.Probes.no_answer fig2 ~i ~r in
+    let src = [| "1st"; "2nd"; "3rd" |].(i - 1) in
+    let dst = if i = n then "error" else [| "1st"; "2nd"; "3rd" |].(i) in
+    check_rel (Printf.sprintf "%s forward" src) p_i (C.prob_by_label c src dst);
+    check_rel (Printf.sprintf "%s back to start" src) (1. -. p_i)
+      (C.prob_by_label c src "start")
+  done
+
+let test_costs_match_paper () =
+  let n = 3 and r = 1.5 in
+  let drm = Drm.build fig2 ~n ~r in
+  let reward = drm.Drm.reward in
+  let states = C.states drm.Drm.chain in
+  let idx = Ss.index states in
+  let step = r +. fig2.Params.probe_cost in
+  check_rel "start -> ok costs n (r+c)" (float_of_int n *. step)
+    (Dtmc.Reward.transition reward (idx "start") (idx "ok"));
+  check_rel "start -> 1st costs r+c" step
+    (Dtmc.Reward.transition reward (idx "start") (idx "1st"));
+  check_rel "nth -> error costs E" fig2.Params.error_cost
+    (Dtmc.Reward.transition reward (idx "3rd") (idx "error"));
+  check_rel "abort transition is free" 0.
+    (Dtmc.Reward.transition reward (idx "2nd") (idx "start"))
+
+let test_absorption_partition () =
+  let drm = Drm.build fig2 ~n:4 ~r:2. in
+  let p_err = Drm.error_probability drm in
+  let p_ok =
+    Dtmc.Absorbing.absorption_probability drm.Drm.chain ~from:drm.Drm.start
+      ~into:drm.Drm.ok
+  in
+  check_rel "error + ok = 1" 1. (p_err +. p_ok)
+
+let test_expected_steps_free_network () =
+  (* q = 0: start -> ok in one hop *)
+  let p = Params.with_q fig2 0. in
+  let drm = Drm.build p ~n:4 ~r:2. in
+  check_rel "one step" 1. (Drm.expected_steps drm)
+
+let test_q_one_always_collides_eventually () =
+  (* q = 1 - eps with certain replies: every attempt returns to start
+     until an unlucky run; with r below the round trip no reply ever
+     arrives, so the first attempt errors *)
+  let p =
+    Params.v ~name:"hopeless"
+      ~delay:(Dist.Families.shifted_exponential ~rate:10. ~delay:1. ())
+      ~q:0.99 ~probe_cost:1. ~error_cost:10.
+  in
+  let drm = Drm.build p ~n:2 ~r:0.3 in
+  check_rel "error prob = q (no reply can arrive)" 0.99 (Drm.error_probability drm)
+
+let test_variance_positive_when_random () =
+  let p = Params.with_q fig2 0.3 in
+  let drm = Drm.build p ~n:3 ~r:1.2 in
+  Alcotest.(check bool) "variance > 0" true (Drm.cost_variance drm > 0.)
+
+let test_simulation_estimates_cover_truth () =
+  let p =
+    Params.v ~name:"sim"
+      ~delay:(Dist.Families.shifted_exponential ~mass:0.9 ~rate:2. ~delay:0.5 ())
+      ~q:0.3 ~probe_cost:1. ~error_cost:50.
+  in
+  let drm = Drm.build p ~n:3 ~r:1. in
+  let rng = Numerics.Rng.create 77 in
+  let cost_est = Drm.simulate_cost ~trials:30_000 ~rng drm in
+  let err_est = Drm.simulate_error ~trials:30_000 ~rng drm in
+  let cost_truth = Drm.mean_cost drm in
+  let err_truth = Drm.error_probability drm in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost CI [%g, %g] covers %g" cost_est.Dtmc.Simulate.ci_lo
+       cost_est.Dtmc.Simulate.ci_hi cost_truth)
+    true
+    (cost_est.Dtmc.Simulate.ci_lo <= cost_truth
+    && cost_truth <= cost_est.Dtmc.Simulate.ci_hi);
+  Alcotest.(check bool)
+    (Printf.sprintf "error CI [%g, %g] covers %g" err_est.Dtmc.Simulate.ci_lo
+       err_est.Dtmc.Simulate.ci_hi err_truth)
+    true
+    (err_est.Dtmc.Simulate.ci_lo <= err_truth
+    && err_truth <= err_est.Dtmc.Simulate.ci_hi)
+
+let test_guards () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Drm.build: n must be >= 1")
+    (fun () -> ignore (Drm.build fig2 ~n:0 ~r:1.));
+  Alcotest.check_raises "negative r"
+    (Invalid_argument "Drm.build: negative listening period") (fun () ->
+      ignore (Drm.build fig2 ~n:1 ~r:(-1.)))
+
+let () =
+  Alcotest.run "drm"
+    [ ( "structure",
+        [ Alcotest.test_case "state layout" `Quick test_state_space_layout;
+          Alcotest.test_case "ordinals" `Quick test_ordinal_labels_beyond_ten;
+          Alcotest.test_case "probabilities" `Quick
+            test_transition_probabilities_match_paper;
+          Alcotest.test_case "costs" `Quick test_costs_match_paper ] );
+      ( "analysis",
+        [ Alcotest.test_case "absorption partition" `Quick test_absorption_partition;
+          Alcotest.test_case "free network steps" `Quick
+            test_expected_steps_free_network;
+          Alcotest.test_case "hopeless network" `Quick
+            test_q_one_always_collides_eventually;
+          Alcotest.test_case "variance" `Quick test_variance_positive_when_random ] );
+      ( "simulation",
+        [ Alcotest.test_case "CIs cover truth" `Quick
+            test_simulation_estimates_cover_truth;
+          Alcotest.test_case "guards" `Quick test_guards ] ) ]

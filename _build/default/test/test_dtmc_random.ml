@@ -1,0 +1,186 @@
+(* Property tests over randomly generated chains: the solver invariants
+   that must hold for any absorbing (or irreducible) chain, not just the
+   hand-built ones. *)
+
+module M = Numerics.Matrix
+module C = Dtmc.Chain
+module Ss = Dtmc.State_space
+
+(* random absorbing chain: [transient] transient states, 2 absorbing;
+   every transient row mixes a random distribution over all states with
+   a guaranteed epsilon of direct absorption, so absorption is certain *)
+let absorbing_chain_gen =
+  QCheck.Gen.(
+    let* transient = int_range 1 8 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (let rng = Numerics.Rng.create seed in
+       let n = transient + 2 in
+       let m = M.create ~rows:n ~cols:n in
+       for i = 0 to transient - 1 do
+         let weights = Array.init n (fun _ -> Numerics.Rng.float rng +. 0.01) in
+         (* force some direct absorption mass *)
+         weights.(transient) <- weights.(transient) +. 0.3;
+         let total = Numerics.Safe_float.sum weights in
+         Array.iteri (fun j w -> M.set m i j (w /. total)) weights
+       done;
+       M.set m transient transient 1.;
+       M.set m (transient + 1) (transient + 1) 1.;
+       let labels = List.init n (fun i -> Printf.sprintf "s%d" i) in
+       C.create ~states:(Ss.of_labels labels) m))
+
+let prop_absorption_rows_sum_to_one =
+  QCheck.Test.make ~name:"absorption probabilities sum to 1" ~count:200
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      let b = Dtmc.Absorbing.absorption_probabilities chain in
+      let ok = ref true in
+      for i = 0 to M.rows b - 1 do
+        if not (Numerics.Safe_float.approx_eq ~rtol:1e-9 (Numerics.Safe_float.sum (M.row b i)) 1.)
+        then ok := false
+      done;
+      !ok)
+
+let prop_fundamental_diagonal_at_least_one =
+  QCheck.Test.make ~name:"fundamental matrix diagonal >= 1" ~count:200
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      let d = Dtmc.Absorbing.decompose chain in
+      let f = Dtmc.Absorbing.fundamental d in
+      let ok = ref true in
+      for i = 0 to M.rows f - 1 do
+        if M.get f i i < 1. -. 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_expected_steps_positive_and_consistent =
+  QCheck.Test.make ~name:"expected steps = row sum of fundamental matrix"
+    ~count:200
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      let d = Dtmc.Absorbing.decompose chain in
+      let f = Dtmc.Absorbing.fundamental d in
+      Array.for_all
+        (fun (pos, original) ->
+          let via_solver = Dtmc.Absorbing.expected_steps chain ~from:original in
+          let via_fundamental = Numerics.Safe_float.sum (M.row f pos) in
+          Numerics.Safe_float.approx_eq ~rtol:1e-8 via_solver via_fundamental)
+        (Array.mapi (fun pos original -> (pos, original)) d.Dtmc.Absorbing.transient))
+
+let prop_reachability_of_all_absorbing_is_one =
+  QCheck.Test.make ~name:"P(reach some absorbing state) = 1" ~count:200
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      let target = Dtmc.Chain.absorbing_states chain in
+      let p = Dtmc.Reachability.prob chain ~target in
+      Array.for_all (fun v -> Numerics.Safe_float.approx_eq ~rtol:1e-9 v 1.) p)
+
+let prop_reachability_matches_absorption =
+  QCheck.Test.make ~name:"reachability of one absorbing state = absorption prob"
+    ~count:150
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      match Dtmc.Chain.absorbing_states chain with
+      | a :: _ ->
+          let reach = Dtmc.Reachability.prob chain ~target:[ a ] in
+          List.for_all
+            (fun s ->
+              Numerics.Safe_float.approx_eq ~rtol:1e-8 ~atol:1e-12 reach.(s)
+                (Dtmc.Absorbing.absorption_probability chain ~from:s ~into:a))
+            (Dtmc.Chain.transient_states chain)
+      | [] -> false)
+
+let prop_variance_non_negative =
+  QCheck.Test.make ~name:"reward variance >= 0" ~count:150
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      (* unit cost per step *)
+      let n = Dtmc.Chain.size chain in
+      let costs = M.create ~rows:n ~cols:n in
+      for i = 0 to n - 1 do
+        if not (Dtmc.Chain.is_absorbing chain i) then
+          List.iter
+            (fun (j, _) -> M.set costs i j 1.)
+            (Dtmc.Chain.successors chain i)
+      done;
+      let reward = Dtmc.Reward.create ~transition_rewards:costs chain in
+      List.for_all
+        (fun s -> Dtmc.Absorbing.variance_total_reward reward ~from:s >= -1e-9)
+        (Dtmc.Chain.transient_states chain))
+
+let prop_bsccs_are_absorbing_singletons =
+  QCheck.Test.make ~name:"BSCCs of these chains are the absorbing singletons"
+    ~count:200
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      let bsccs = List.sort compare (Dtmc.Scc.bottom_components chain) in
+      let expected =
+        List.sort compare (List.map (fun a -> [ a ]) (Dtmc.Chain.absorbing_states chain))
+      in
+      bsccs = expected)
+
+(* random irreducible lazy chains for the stationary solvers *)
+let irreducible_chain_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 8 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (let rng = Numerics.Rng.create seed in
+       let m = M.create ~rows:n ~cols:n in
+       for i = 0 to n - 1 do
+         let weights = Array.init n (fun _ -> Numerics.Rng.float rng +. 0.05) in
+         (* laziness: self-weight boost makes the chain aperiodic *)
+         weights.(i) <- weights.(i) +. 0.5;
+         let total = Numerics.Safe_float.sum weights in
+         Array.iteri (fun j w -> M.set m i j (w /. total)) weights
+       done;
+       let labels = List.init n (fun i -> Printf.sprintf "s%d" i) in
+       C.create ~states:(Ss.of_labels labels) m))
+
+let prop_gth_is_stationary =
+  QCheck.Test.make ~name:"GTH result is a stationary distribution" ~count:200
+    (QCheck.make irreducible_chain_gen)
+    (fun chain ->
+      Dtmc.Stationary.is_stationary ~tol:1e-8 chain (Dtmc.Stationary.gth chain))
+
+let prop_gth_matches_power =
+  QCheck.Test.make ~name:"GTH = power iteration on lazy chains" ~count:100
+    (QCheck.make irreducible_chain_gen)
+    (fun chain ->
+      let gth = Dtmc.Stationary.gth chain in
+      let power = Dtmc.Stationary.power_iteration ~tol:1e-13 chain in
+      Numerics.Vector.approx_eq ~rtol:1e-6 ~atol:1e-9 gth power)
+
+let prop_simulation_consistent_with_absorption =
+  QCheck.Test.make ~name:"simulated absorption inside Wilson CI (99% of runs)"
+    ~count:30
+    (QCheck.make absorbing_chain_gen)
+    (fun chain ->
+      match Dtmc.Chain.absorbing_states chain with
+      | a :: _ ->
+          let truth = Dtmc.Absorbing.absorption_probability chain ~from:0 ~into:a in
+          let rng = Numerics.Rng.create 7 in
+          let est =
+            Dtmc.Simulate.estimate_absorption ~trials:3_000 ~rng chain ~from:0
+              ~into:a
+          in
+          (* generous margin: qcheck runs many cases *)
+          truth > est.Dtmc.Simulate.ci_lo -. 0.05
+          && truth < est.Dtmc.Simulate.ci_hi +. 0.05
+      | [] -> false)
+
+let () =
+  Alcotest.run "dtmc_random"
+    [ ( "absorbing invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_absorption_rows_sum_to_one;
+            prop_fundamental_diagonal_at_least_one;
+            prop_expected_steps_positive_and_consistent;
+            prop_reachability_of_all_absorbing_is_one;
+            prop_reachability_matches_absorption; prop_variance_non_negative;
+            prop_bsccs_are_absorbing_singletons ] );
+      ( "stationary invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_gth_is_stationary; prop_gth_matches_power ] );
+      ( "simulation",
+        [ QCheck_alcotest.to_alcotest prop_simulation_consistent_with_absorption ] ) ]

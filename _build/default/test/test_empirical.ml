@@ -1,0 +1,113 @@
+module D = Dist.Distribution
+module E = Dist.Empirical
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let test_of_samples_cdf () =
+  let d = E.of_samples [| 1.; 2.; 3.; 4. |] in
+  check_close "below" 0. (d.D.cdf 0.5);
+  check_close "half" 0.5 (d.D.cdf 2.);
+  check_close "all" 1. (d.D.cdf 4.);
+  check_close "mass" 1. d.D.mass
+
+let test_of_samples_with_losses () =
+  let d = E.of_samples ~losses:2 [| 1.; 2. |] in
+  check_close "mass" 0.5 d.D.mass;
+  check_close "cdf scaled by mass" 0.25 (d.D.cdf 1.);
+  Alcotest.(check bool) "defective" true (D.is_defective d)
+
+let test_of_samples_guards () =
+  Alcotest.check_raises "empty" (Invalid_argument "Empirical.of_samples: empty sample")
+    (fun () -> ignore (E.of_samples [||]));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Empirical.of_samples: negative delay") (fun () ->
+      ignore (E.of_samples [| -1. |]));
+  Alcotest.check_raises "negative losses"
+    (Invalid_argument "Empirical.of_samples: negative losses") (fun () ->
+      ignore (E.of_samples ~losses:(-1) [| 1. |]))
+
+let test_of_censored () =
+  let d = E.of_censored ~timeout:5. [| 1.; 2.; 7.; 9.; 3. |] in
+  check_close "mass = 3/5" 0.6 d.D.mass;
+  check_close "all observed by 3" 0.6 (d.D.cdf 3.);
+  Alcotest.check_raises "all censored"
+    (Invalid_argument "Empirical.of_censored: every observation censored")
+    (fun () -> ignore (E.of_censored ~timeout:0.5 [| 1.; 2. |]))
+
+let test_sampling_resamples_observations () =
+  let observations = [| 1.; 2.; 5. |] in
+  let d = E.of_samples observations in
+  let rng = Numerics.Rng.create 21 in
+  for _ = 1 to 100 do
+    match d.D.sample rng with
+    | Some x ->
+        Alcotest.(check bool) "sample is an observation" true
+          (Array.exists (fun o -> o = x) observations)
+    | None -> Alcotest.fail "no losses expected"
+  done
+
+let test_sampling_loss_rate () =
+  let d = E.of_samples ~losses:10 (Array.make 10 1.) in
+  let rng = Numerics.Rng.create 22 in
+  let lost = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if d.D.sample rng = None then incr lost
+  done;
+  Alcotest.(check bool) "loss rate near 1/2" true
+    (Float.abs ((float_of_int !lost /. float_of_int n) -. 0.5) < 0.02)
+
+let test_empirical_recovers_parametric () =
+  (* draw from a known shifted exponential, rebuild empirically, and
+     compare CDFs: the measurement-driven path of Sec. 3.2 *)
+  let truth = Dist.Families.shifted_exponential ~rate:5. ~delay:0.5 () in
+  let rng = Numerics.Rng.create 23 in
+  let samples =
+    Array.init 20_000 (fun _ ->
+        match truth.D.sample rng with Some x -> x | None -> 0.)
+  in
+  let d = E.of_samples samples in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cdf close at %g" t)
+        true
+        (Float.abs (d.D.cdf t -. truth.D.cdf t) < 0.02))
+    [ 0.55; 0.7; 1.0; 1.5 ]
+
+let test_smooth_preserves_mass_and_shape () =
+  let d = E.of_samples [| 1.; 1.; 2.; 3. |] in
+  let s = E.smooth d in
+  check_close "mass preserved" d.D.mass s.D.mass;
+  Alcotest.(check bool) "still monotone etc." true
+    (match D.check ~hi:10. s with Ok () -> true | Error _ -> false);
+  (* smoothing keeps values between the staircase endpoints *)
+  Alcotest.(check bool) "close to original at knots" true
+    (Float.abs (s.D.cdf 3. -. 1.) < 0.05)
+
+let prop_empirical_cdf_steps_by_1_over_n =
+  QCheck.Test.make ~name:"empirical cdf at the max is the mass" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0. 100.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let d = E.of_samples arr in
+      let maximum = Array.fold_left Float.max arr.(0) arr in
+      Float.abs (d.D.cdf maximum -. 1.) < 1e-9)
+
+let () =
+  Alcotest.run "empirical"
+    [ ( "construction",
+        [ Alcotest.test_case "cdf" `Quick test_of_samples_cdf;
+          Alcotest.test_case "losses" `Quick test_of_samples_with_losses;
+          Alcotest.test_case "guards" `Quick test_of_samples_guards;
+          Alcotest.test_case "censored" `Quick test_of_censored ] );
+      ( "sampling",
+        [ Alcotest.test_case "resamples" `Quick test_sampling_resamples_observations;
+          Alcotest.test_case "loss rate" `Quick test_sampling_loss_rate ] );
+      ( "recovery",
+        [ Alcotest.test_case "recovers parametric" `Quick
+            test_empirical_recovers_parametric;
+          Alcotest.test_case "smoothing" `Quick test_smooth_preserves_mass_and_shape ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_empirical_cdf_steps_by_1_over_n ] ) ]

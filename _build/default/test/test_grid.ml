@@ -1,0 +1,85 @@
+module G = Numerics.Grid
+
+let check_floats = Alcotest.(check (array (float 1e-12)))
+
+let test_linspace_basic () =
+  check_floats "five points" [| 0.; 0.25; 0.5; 0.75; 1. |] (G.linspace 0. 1. 5);
+  check_floats "two points" [| 2.; 5. |] (G.linspace 2. 5. 2)
+
+let test_linspace_endpoints_exact () =
+  let g = G.linspace 0.1 0.7 7 in
+  Alcotest.(check (float 0.)) "first exact" 0.1 g.(0);
+  Alcotest.(check (float 0.)) "last exact" 0.7 g.(6)
+
+let test_linspace_descending () =
+  check_floats "descending" [| 1.; 0.5; 0. |] (G.linspace 1. 0. 3)
+
+let test_linspace_errors () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Grid.linspace: n < 1")
+    (fun () -> ignore (G.linspace 0. 1. 0));
+  Alcotest.check_raises "n = 1 with span"
+    (Invalid_argument "Grid.linspace: n = 1 with a <> b") (fun () ->
+      ignore (G.linspace 0. 1. 1));
+  check_floats "n = 1 degenerate ok" [| 3. |] (G.linspace 3. 3. 1)
+
+let test_logspace () =
+  check_floats "decades" [| 1.; 10.; 100. |] (G.logspace 0. 2. 3)
+
+let test_geomspace () =
+  let g = G.geomspace 1. 8. 4 in
+  Alcotest.(check (array (float 1e-9))) "powers of two" [| 1.; 2.; 4.; 8. |] g;
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Grid.geomspace: non-positive bound") (fun () ->
+      ignore (G.geomspace (-1.) 1. 3))
+
+let test_arange () =
+  check_floats "unit step" [| 0.; 1.; 2. |] (G.arange 0. 3.);
+  check_floats "fractional step" [| 0.; 0.5; 1.; 1.5 |] (G.arange ~step:0.5 0. 2.);
+  check_floats "empty" [||] (G.arange 5. 5.);
+  Alcotest.check_raises "bad step" (Invalid_argument "Grid.arange: step <= 0")
+    (fun () -> ignore (G.arange ~step:0. 0. 1.))
+
+let test_midpoints () =
+  check_floats "midpoints" [| 0.5; 1.5 |] (G.midpoints [| 0.; 1.; 2. |]);
+  check_floats "too short" [||] (G.midpoints [| 1. |])
+
+let test_map_sweep () =
+  let swept = G.map_sweep (fun x -> x *. x) [| 1.; 2. |] in
+  Alcotest.(check (array (pair (float 0.) (float 0.))))
+    "pairs" [| (1., 1.); (2., 4.) |] swept
+
+let prop_linspace_monotone =
+  QCheck.Test.make ~name:"linspace is monotone for a < b" ~count:300
+    QCheck.(triple (float_range (-100.) 0.) (float_range 0.1 100.) (int_range 2 200))
+    (fun (a, b, n) ->
+      let g = G.linspace a b n in
+      Array.length g = n
+      && Array.for_all Fun.id (Array.init (n - 1) (fun i -> g.(i) < g.(i + 1))))
+
+let prop_geomspace_ratios_constant =
+  QCheck.Test.make ~name:"geomspace has constant ratio" ~count:300
+    QCheck.(triple (float_range 0.01 10.) (float_range 11. 1000.) (int_range 3 50))
+    (fun (a, b, n) ->
+      let g = G.geomspace a b n in
+      let ratio = g.(1) /. g.(0) in
+      Array.for_all Fun.id
+        (Array.init (n - 1) (fun i ->
+             Numerics.Safe_float.approx_eq ~rtol:1e-9 (g.(i + 1) /. g.(i)) ratio)))
+
+let () =
+  Alcotest.run "grid"
+    [ ( "linspace",
+        [ Alcotest.test_case "basic" `Quick test_linspace_basic;
+          Alcotest.test_case "endpoints exact" `Quick test_linspace_endpoints_exact;
+          Alcotest.test_case "descending" `Quick test_linspace_descending;
+          Alcotest.test_case "errors" `Quick test_linspace_errors ] );
+      ( "log/geom",
+        [ Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "geomspace" `Quick test_geomspace ] );
+      ( "arange/midpoints",
+        [ Alcotest.test_case "arange" `Quick test_arange;
+          Alcotest.test_case "midpoints" `Quick test_midpoints;
+          Alcotest.test_case "map_sweep" `Quick test_map_sweep ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_linspace_monotone; prop_geomspace_ratios_constant ] ) ]

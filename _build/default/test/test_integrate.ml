@@ -1,0 +1,82 @@
+module I = Numerics.Integrate
+
+let check_close ?(tol = 1e-8) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let test_simpson_polynomials () =
+  (* Simpson is exact on cubics *)
+  check_close ~tol:1e-12 "x^2 on [0,1]" (1. /. 3.)
+    (I.simpson ~n:4 ~f:(fun x -> x *. x) 0. 1.);
+  check_close ~tol:1e-12 "x^3 on [0,2]" 4.
+    (I.simpson ~n:4 ~f:(fun x -> x ** 3.) 0. 2.)
+
+let test_simpson_transcendental () =
+  check_close "sin over [0, pi]" 2. (I.simpson ~f:sin 0. Float.pi);
+  check_close "exp over [0, 1]" (Float.exp 1. -. 1.) (I.simpson ~f:exp 0. 1.)
+
+let test_simpson_odd_n_rounded () =
+  (* odd n is rounded up rather than rejected *)
+  check_close ~tol:1e-6 "odd n works" (1. /. 3.)
+    (I.simpson ~n:33 ~f:(fun x -> x *. x) 0. 1.)
+
+let test_adaptive_smooth () =
+  check_close ~tol:1e-9 "gaussian-ish" (Float.exp 1. -. 1.) (I.adaptive ~f:exp 0. 1.);
+  check_close ~tol:1e-9 "sin" 2. (I.adaptive ~f:sin 0. Float.pi)
+
+let test_adaptive_peaked () =
+  (* narrow bump that a fixed grid at low n would miss *)
+  let f x = exp (-.((x -. 0.7) ** 2.) /. 1e-4) in
+  let truth = sqrt Float.pi *. 1e-2 in
+  check_close ~tol:1e-7 "narrow gaussian" truth (I.adaptive ~tol:1e-12 ~f (-1.) 2.)
+
+let test_to_infinity_exponential () =
+  check_close ~tol:1e-8 "integral of e^-x from 0" 1.
+    (I.to_infinity ~f:(fun x -> exp (-.x)) 0.);
+  check_close ~tol:1e-7 "integral of e^-2x from 1" (exp (-2.) /. 2.)
+    (I.to_infinity ~f:(fun x -> exp (-2. *. x)) 1.)
+
+let test_to_infinity_survival () =
+  (* mean of the paper's conditional F_X: integral of survival = d + 1/lambda *)
+  let d = Dist.Families.shifted_exponential ~rate:10. ~delay:1. () in
+  check_close ~tol:1e-6 "mean via survival integral" 1.1
+    (I.to_infinity ~f:d.Dist.Distribution.survival 0.)
+
+let test_guards () =
+  Alcotest.check_raises "n < 2" (Invalid_argument "Integrate.simpson: n < 2")
+    (fun () -> ignore (I.simpson ~n:1 ~f:exp 0. 1.))
+
+let prop_linearity =
+  QCheck.Test.make ~name:"integration is linear" ~count:200
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let f x = (a *. sin x) +. (b *. (x *. x)) in
+      let whole = I.adaptive ~f 0. 2. in
+      let parts =
+        (a *. I.adaptive ~f:sin 0. 2.) +. (b *. I.adaptive ~f:(fun x -> x *. x) 0. 2.)
+      in
+      Numerics.Safe_float.approx_eq ~rtol:1e-7 ~atol:1e-9 whole parts)
+
+let prop_interval_additivity =
+  QCheck.Test.make ~name:"integral over [a,c] = [a,b] + [b,c]" ~count:200
+    QCheck.(triple (float_range 0. 2.) (float_range 2. 4.) (float_range 4. 6.))
+    (fun (a, b, c) ->
+      let f x = exp (-.x) *. cos x in
+      Numerics.Safe_float.approx_eq ~rtol:1e-7 ~atol:1e-10
+        (I.adaptive ~f a c)
+        (I.adaptive ~f a b +. I.adaptive ~f b c))
+
+let () =
+  Alcotest.run "integrate"
+    [ ( "simpson",
+        [ Alcotest.test_case "polynomials exact" `Quick test_simpson_polynomials;
+          Alcotest.test_case "transcendental" `Quick test_simpson_transcendental;
+          Alcotest.test_case "odd n" `Quick test_simpson_odd_n_rounded ] );
+      ( "adaptive",
+        [ Alcotest.test_case "smooth" `Quick test_adaptive_smooth;
+          Alcotest.test_case "peaked" `Quick test_adaptive_peaked ] );
+      ( "to infinity",
+        [ Alcotest.test_case "exponential tails" `Quick test_to_infinity_exponential;
+          Alcotest.test_case "survival integral" `Quick test_to_infinity_survival;
+          Alcotest.test_case "guards" `Quick test_guards ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_linearity; prop_interval_additivity ] ) ]

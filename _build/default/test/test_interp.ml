@@ -1,0 +1,80 @@
+module I = Numerics.Interp
+
+let check_close ?(tol = 1e-12) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let table = I.create ~xs:[| 0.; 1.; 2.; 4. |] ~ys:[| 0.; 10.; 10.; 30. |]
+
+let test_eval_at_knots () =
+  check_close "knot 0" 0. (I.eval table 0.);
+  check_close "knot 1" 10. (I.eval table 1.);
+  check_close "knot 3" 30. (I.eval table 4.)
+
+let test_eval_between_knots () =
+  check_close "first segment" 5. (I.eval table 0.5);
+  check_close "flat segment" 10. (I.eval table 1.7);
+  check_close "last segment" 20. (I.eval table 3.)
+
+let test_eval_extrapolation_clamps () =
+  check_close "below" 0. (I.eval table (-5.));
+  check_close "above" 30. (I.eval table 100.)
+
+let test_inverse () =
+  check_close "inverse interior" 0.5 (I.inverse table 5.);
+  check_close "inverse at knot" 1. (I.inverse table 10.);
+  check_close "inverse in last segment" 3. (I.inverse table 20.);
+  check_close "inverse clamps low" 0. (I.inverse table (-1.));
+  check_close "inverse clamps high" 4. (I.inverse table 99.)
+
+let test_domain_and_map () =
+  let lo, hi = I.domain table in
+  check_close "domain lo" 0. lo;
+  check_close "domain hi" 4. hi;
+  let doubled = I.map_y (fun y -> 2. *. y) table in
+  check_close "mapped" 20. (I.eval doubled 1.)
+
+let test_validation () =
+  Alcotest.check_raises "too short"
+    (Invalid_argument "Interp.create: need at least two points") (fun () ->
+      ignore (I.create ~xs:[| 1. |] ~ys:[| 1. |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Interp.create: length mismatch") (fun () ->
+      ignore (I.create ~xs:[| 1.; 2. |] ~ys:[| 1. |]));
+  Alcotest.check_raises "not increasing"
+    (Invalid_argument "Interp.create: abscissae not strictly increasing")
+    (fun () -> ignore (I.create ~xs:[| 1.; 1. |] ~ys:[| 1.; 2. |]))
+
+let prop_interpolation_bounded =
+  QCheck.Test.make ~name:"interpolant stays within segment y-range" ~count:300
+    QCheck.(pair (float_range 0. 4.) (list_of_size (Gen.return 5) (float_range (-10.) 10.)))
+    (fun (x, ys) ->
+      let xs = [| 0.; 1.; 2.; 3.; 4. |] in
+      let ys = Array.of_list ys in
+      let t = I.create ~xs ~ys in
+      let v = I.eval t x in
+      let lo = Array.fold_left Float.min ys.(0) ys in
+      let hi = Array.fold_left Float.max ys.(0) ys in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_inverse_of_monotone_roundtrips =
+  QCheck.Test.make ~name:"inverse . eval = id on monotone tables" ~count:300
+    (QCheck.float_range 0. 4.)
+    (fun x ->
+      let xs = [| 0.; 1.; 2.; 3.; 4. |] in
+      let ys = [| 0.; 1.; 4.; 9.; 16. |] in
+      let t = I.create ~xs ~ys in
+      Float.abs (I.inverse t (I.eval t x) -. x) < 1e-9)
+
+let () =
+  Alcotest.run "interp"
+    [ ( "eval",
+        [ Alcotest.test_case "at knots" `Quick test_eval_at_knots;
+          Alcotest.test_case "between knots" `Quick test_eval_between_knots;
+          Alcotest.test_case "extrapolation" `Quick test_eval_extrapolation_clamps ] );
+      ("inverse", [ Alcotest.test_case "inverse" `Quick test_inverse ]);
+      ( "misc",
+        [ Alcotest.test_case "domain/map" `Quick test_domain_and_map;
+          Alcotest.test_case "validation" `Quick test_validation ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_interpolation_bounded; prop_inverse_of_monotone_roundtrips ] ) ]

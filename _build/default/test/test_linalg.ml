@@ -1,0 +1,172 @@
+module V = Numerics.Vector
+module M = Numerics.Matrix
+module Lu = Numerics.Lu
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let check_vec msg expected actual =
+  Alcotest.(check bool) msg true (V.approx_eq ~rtol:1e-9 ~atol:1e-12 expected actual)
+
+let check_mat msg expected actual =
+  Alcotest.(check bool) msg true (M.approx_eq ~rtol:1e-9 ~atol:1e-12 expected actual)
+
+(* ---------------- vectors ---------------- *)
+
+let test_vector_ops () =
+  check_vec "add" [| 4.; 6. |] (V.add [| 1.; 2. |] [| 3.; 4. |]);
+  check_vec "sub" [| -2.; -2. |] (V.sub [| 1.; 2. |] [| 3.; 4. |]);
+  check_vec "scale" [| 2.; 4. |] (V.scale 2. [| 1.; 2. |]);
+  check_vec "axpy" [| 5.; 8. |] (V.axpy ~alpha:2. [| 1.; 2. |] [| 3.; 4. |]);
+  check_close "dot" 11. (V.dot [| 1.; 2. |] [| 3.; 4. |])
+
+let test_vector_norms () =
+  check_close "norm1" 7. (V.norm1 [| 3.; -4. |]);
+  check_close "norm2" 5. (V.norm2 [| 3.; -4. |]);
+  check_close "norm_inf" 4. (V.norm_inf [| 3.; -4. |])
+
+let test_vector_max_index () =
+  Alcotest.(check int) "max index" 2 (V.max_index [| 1.; 5.; 9.; 9. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Vector.max_index: empty")
+    (fun () -> ignore (V.max_index [||]))
+
+let test_vector_mismatch () =
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Vector.add: dimension mismatch") (fun () ->
+      ignore (V.add [| 1. |] [| 1.; 2. |]))
+
+(* ---------------- matrices ---------------- *)
+
+let a = M.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |]
+let b = M.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |]
+
+let test_matrix_basics () =
+  Alcotest.(check int) "rows" 2 (M.rows a);
+  Alcotest.(check int) "cols" 2 (M.cols a);
+  check_close "get" 3. (M.get a 1 0);
+  let c = M.copy a in
+  M.set c 0 0 99.;
+  check_close "copy is deep" 1. (M.get a 0 0)
+
+let test_matrix_mul () =
+  check_mat "product" (M.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |]) (M.mul a b);
+  check_mat "identity neutral" a (M.mul a (M.identity 2));
+  check_vec "mul_vec" [| 5.; 11. |] (M.mul_vec a [| 1.; 2. |]);
+  check_vec "vec_mul" [| 7.; 10. |] (M.vec_mul [| 1.; 2. |] a)
+
+let test_matrix_pow () =
+  check_mat "pow 0 is identity" (M.identity 2) (M.pow a 0);
+  check_mat "pow 1" a (M.pow a 1);
+  check_mat "pow 3 = a*a*a" (M.mul a (M.mul a a)) (M.pow a 3)
+
+let test_matrix_transpose_sub () =
+  check_mat "transpose" (M.of_arrays [| [| 1.; 3. |]; [| 2.; 4. |] |]) (M.transpose a);
+  let big = M.init ~rows:4 ~cols:4 (fun i j -> float_of_int ((4 * i) + j)) in
+  let sub = M.submatrix big ~row_lo:1 ~row_hi:2 ~col_lo:2 ~col_hi:3 in
+  check_mat "submatrix" (M.of_arrays [| [| 6.; 7. |]; [| 10.; 11. |] |]) sub
+
+let test_matrix_row_sums () =
+  check_vec "row sums" [| 3.; 7. |] (M.row_sums a);
+  check_close "norm_inf" 7. (M.norm_inf a)
+
+(* ---------------- LU ---------------- *)
+
+let test_lu_solve () =
+  let m = M.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Lu.solve m [| 5.; 10. |] in
+  check_vec "2x + y = 5, x + 3y = 10" [| 1.; 3. |] x
+
+let test_lu_needs_pivoting () =
+  (* zero on the leading diagonal forces a row swap *)
+  let m = M.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_vec "swap solve" [| 2.; 1. |] (Lu.solve m [| 1.; 2. |])
+
+let test_lu_det () =
+  let f = Lu.decompose a in
+  check_close "det" (-2.) (Lu.det f);
+  let swap = M.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_close "det of permutation" (-1.) (Lu.det (Lu.decompose swap))
+
+let test_lu_inverse () =
+  let inv = Lu.inverse (Lu.decompose a) in
+  check_mat "a * a^-1 = I" (M.identity 2) (M.mul a inv)
+
+let test_lu_singular () =
+  let singular = M.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Lu.Singular (fun () ->
+      ignore (Lu.decompose singular))
+
+let test_lu_non_square () =
+  let rect = M.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  Alcotest.check_raises "non-square"
+    (Invalid_argument "Lu.decompose: non-square matrix") (fun () ->
+      ignore (Lu.decompose rect))
+
+let test_lu_hilbert_with_refinement () =
+  (* 6x6 Hilbert: badly conditioned; refinement should not hurt *)
+  let n = 6 in
+  let h = M.init ~rows:n ~cols:n (fun i j -> 1. /. float_of_int (i + j + 1)) in
+  let x_true = Array.make n 1. in
+  let b = M.mul_vec h x_true in
+  let fact = Lu.decompose h in
+  let x = Lu.solve_vec fact b in
+  let x_refined = Lu.refine h fact b x in
+  let err v = V.norm_inf (V.sub v x_true) in
+  Alcotest.(check bool) "solve is decent" true (err x < 1e-6);
+  Alcotest.(check bool) "refinement no worse" true (err x_refined <= err x +. 1e-12)
+
+let rand_matrix_gen n =
+  QCheck.Gen.(
+    array_size (return (n * n)) (float_range (-10.) 10.)
+    |> map (fun data -> M.init ~rows:n ~cols:n (fun i j -> data.((n * i) + j))))
+
+let prop_lu_solve_residual =
+  QCheck.Test.make ~name:"LU solve has tiny residual on random 5x5" ~count:200
+    (QCheck.make (rand_matrix_gen 5))
+    (fun m ->
+      let b = Array.init 5 (fun i -> float_of_int (i + 1)) in
+      match Lu.solve m b with
+      | x ->
+          let residual = V.norm_inf (V.sub (M.mul_vec m x) b) in
+          residual < 1e-6
+      | exception Lu.Singular -> QCheck.assume_fail ())
+
+let prop_det_product =
+  QCheck.Test.make ~name:"det(AB) = det A * det B on random 4x4" ~count:100
+    QCheck.(make Gen.(pair (rand_matrix_gen 4) (rand_matrix_gen 4)))
+    (fun (x, y) ->
+      match (Lu.decompose x, Lu.decompose y, Lu.decompose (M.mul x y)) with
+      | fx, fy, fxy ->
+          Numerics.Safe_float.approx_eq ~rtol:1e-6
+            (Lu.det fx *. Lu.det fy) (Lu.det fxy)
+      | exception Lu.Singular -> QCheck.assume_fail ())
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:200
+    (QCheck.make (rand_matrix_gen 4))
+    (fun m -> M.approx_eq m (M.transpose (M.transpose m)))
+
+let () =
+  Alcotest.run "linalg"
+    [ ( "vector",
+        [ Alcotest.test_case "ops" `Quick test_vector_ops;
+          Alcotest.test_case "norms" `Quick test_vector_norms;
+          Alcotest.test_case "max index" `Quick test_vector_max_index;
+          Alcotest.test_case "mismatch" `Quick test_vector_mismatch ] );
+      ( "matrix",
+        [ Alcotest.test_case "basics" `Quick test_matrix_basics;
+          Alcotest.test_case "mul" `Quick test_matrix_mul;
+          Alcotest.test_case "pow" `Quick test_matrix_pow;
+          Alcotest.test_case "transpose/sub" `Quick test_matrix_transpose_sub;
+          Alcotest.test_case "row sums" `Quick test_matrix_row_sums ] );
+      ( "lu",
+        [ Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "pivoting" `Quick test_lu_needs_pivoting;
+          Alcotest.test_case "det" `Quick test_lu_det;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "non-square" `Quick test_lu_non_square;
+          Alcotest.test_case "hilbert + refinement" `Quick test_lu_hilbert_with_refinement ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lu_solve_residual; prop_det_product; prop_transpose_involution ] ) ]

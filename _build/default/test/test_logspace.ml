@@ -1,0 +1,123 @@
+module L = Numerics.Logspace
+
+let check_float = Alcotest.(check (float 1e-9))
+let to_f = L.to_float
+let of_f = L.of_float
+
+let test_roundtrip () =
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %g" x)
+        true
+        (Numerics.Safe_float.approx_eq ~rtol:1e-12 x (to_f (of_f x))))
+    [ 0.; 1.; -1.; 0.5; -123.456; 1e300; -1e-300 ]
+
+let test_constants () =
+  check_float "zero" 0. (to_f L.zero);
+  check_float "one" 1. (to_f L.one);
+  check_float "minus_one" (-1.) (to_f L.minus_one);
+  Alcotest.(check bool) "zero is zero" true (L.is_zero L.zero);
+  Alcotest.(check bool) "one is not zero" false (L.is_zero L.one)
+
+let test_add_signs () =
+  check_float "pos + pos" 5. (to_f (L.add (of_f 2.) (of_f 3.)));
+  check_float "pos + neg" (-1.) (to_f (L.add (of_f 2.) (of_f (-3.))));
+  check_float "neg + pos" 1. (to_f (L.add (of_f (-2.)) (of_f 3.)));
+  check_float "cancel exactly" 0. (to_f (L.add (of_f 2.) (of_f (-2.))));
+  check_float "add zero" 7. (to_f (L.add L.zero (of_f 7.)))
+
+let test_mul_div () =
+  check_float "mul" (-6.) (to_f (L.mul (of_f 2.) (of_f (-3.))));
+  check_float "mul by zero" 0. (to_f (L.mul L.zero (of_f 3.)));
+  check_float "div" (-2.) (to_f (L.div (of_f 6.) (of_f (-3.))));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (L.div L.one L.zero))
+
+let test_pow () =
+  check_float "cube" (-8.) (to_f (L.pow (of_f (-2.)) 3));
+  check_float "square" 4. (to_f (L.pow (of_f (-2.)) 2));
+  check_float "zero^0 = 1" 1. (to_f (L.pow L.zero 0));
+  check_float "zero^5 = 0" 0. (to_f (L.pow L.zero 5));
+  Alcotest.check_raises "zero^-1" Division_by_zero (fun () ->
+      ignore (L.pow L.zero (-1)))
+
+let test_beyond_double_range () =
+  (* (1e-300)^5 underflows doubles but stays exact in log space *)
+  let tiny = L.pow (of_f 1e-300) 5 in
+  check_float "log magnitude" (5. *. log 1e-300) (L.log_abs tiny);
+  (* multiplying back up recovers a representable value *)
+  let back = L.mul tiny (L.pow (of_f 1e300) 5) in
+  check_float "recovered" 1. (to_f back);
+  (* the paper's extreme: q * E * pi with E = 1e35, pi ~ 1e-120 *)
+  let product = L.mul (L.mul (of_f 0.0154) (of_f 1e35)) (of_f 1e-120) in
+  Alcotest.(check bool) "representable either way" true
+    (Numerics.Safe_float.approx_eq ~rtol:1e-9 (to_f product) (0.0154 *. 1e-85))
+
+let test_compare () =
+  Alcotest.(check bool) "2 < 3" true L.(of_f 2. < of_f 3.);
+  Alcotest.(check bool) "-3 < -2" true L.(of_f (-3.) < of_f (-2.));
+  Alcotest.(check bool) "-1 < 1" true L.(of_f (-1.) < of_f 1.);
+  Alcotest.(check bool) "zero <= zero" true L.(L.zero <= L.zero);
+  Alcotest.(check bool) "equal" true (L.equal (of_f 5.) (of_f 5.));
+  Alcotest.(check int) "compare sign" (-1) (L.compare (of_f 1.) (of_f 2.))
+
+let test_sum_prod () =
+  check_float "sum" 6. (to_f (L.sum [ of_f 1.; of_f 2.; of_f 3. ]));
+  check_float "empty sum" 0. (to_f (L.sum []));
+  check_float "prod" 24. (to_f (L.prod [ of_f 2.; of_f 3.; of_f 4. ]));
+  check_float "empty prod" 1. (to_f (L.prod []))
+
+let test_nan_rejected () =
+  Alcotest.check_raises "nan" (Invalid_argument "Logspace.of_float: nan")
+    (fun () -> ignore (of_f Float.nan))
+
+let finite_float = QCheck.float_range (-1e8) 1e8
+
+let prop_add_matches =
+  QCheck.Test.make ~name:"add agrees with float add" ~count:1000
+    QCheck.(pair finite_float finite_float)
+    (fun (a, b) ->
+      Numerics.Safe_float.approx_eq ~rtol:1e-9 ~atol:1e-6
+        (to_f (L.add (of_f a) (of_f b)))
+        (a +. b))
+
+let prop_mul_matches =
+  QCheck.Test.make ~name:"mul agrees with float mul" ~count:1000
+    QCheck.(pair finite_float finite_float)
+    (fun (a, b) ->
+      Numerics.Safe_float.approx_eq ~rtol:1e-9 ~atol:1e-6
+        (to_f (L.mul (of_f a) (of_f b)))
+        (a *. b))
+
+let prop_compare_matches =
+  QCheck.Test.make ~name:"compare agrees with Float.compare" ~count:1000
+    QCheck.(pair finite_float finite_float)
+    (fun (a, b) -> L.compare (of_f a) (of_f b) = Float.compare a b)
+
+let prop_distributive_sign =
+  QCheck.Test.make ~name:"neg distributes over add" ~count:500
+    QCheck.(pair finite_float finite_float)
+    (fun (a, b) ->
+      let lhs = L.neg (L.add (of_f a) (of_f b)) in
+      let rhs = L.add (L.neg (of_f a)) (L.neg (of_f b)) in
+      Numerics.Safe_float.approx_eq ~rtol:1e-9 ~atol:1e-6 (to_f lhs) (to_f rhs))
+
+let () =
+  Alcotest.run "logspace"
+    [ ( "basics",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "nan rejected" `Quick test_nan_rejected ] );
+      ( "arithmetic",
+        [ Alcotest.test_case "add with signs" `Quick test_add_signs;
+          Alcotest.test_case "mul/div" `Quick test_mul_div;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "beyond double range" `Quick test_beyond_double_range ] );
+      ( "ordering",
+        [ Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "sum/prod" `Quick test_sum_prod ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_add_matches; prop_mul_matches; prop_compare_matches;
+            prop_distributive_sign ] ) ]

@@ -1,0 +1,139 @@
+module L = Dtmc.Lumping
+module C = Dtmc.Chain
+module M = Numerics.Matrix
+module Ss = Dtmc.State_space
+
+let chain_of arrays labels =
+  C.create ~states:(Ss.of_labels labels) (M.of_arrays arrays)
+
+let check_close ?(tol = 1e-12) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* two interchangeable middle states *)
+let parallel_branches =
+  chain_of
+    [| [| 0.; 0.5; 0.5; 0. |];
+       [| 0.; 0.; 0.; 1. |];
+       [| 0.; 0.; 0.; 1. |];
+       [| 0.; 0.; 0.; 1. |] |]
+    [ "start"; "b1"; "b2"; "done" ]
+
+let test_symmetric_branches_lump () =
+  let l = L.coarsest parallel_branches in
+  Alcotest.(check int) "three blocks" 3 (C.size l.L.quotient);
+  Alcotest.(check int) "b1 and b2 together" l.L.block_of.(1) l.L.block_of.(2);
+  Alcotest.(check bool) "start alone" true (l.L.block_of.(0) <> l.L.block_of.(1));
+  (* quotient transition start -> merged block is the summed 1.0 *)
+  check_close "merged probability" 1.
+    (C.prob l.L.quotient l.L.block_of.(0) l.L.block_of.(1))
+
+let test_quotient_preserves_absorption () =
+  (* a symmetric gadget with two absorbing outcomes: mirror states must
+     merge, and absorption probabilities must survive the quotient *)
+  let c =
+    chain_of
+      [| [| 0.; 0.3; 0.3; 0.2; 0.2; 0. |];
+         [| 0.; 0.; 0.; 0.7; 0.3; 0. |];
+         [| 0.; 0.; 0.; 0.7; 0.3; 0. |];
+         [| 0.; 0.; 0.; 1.; 0.; 0. |];
+         [| 0.; 0.; 0.; 0.; 1.; 0. |];
+         [| 0.; 0.; 0.; 0.; 0.; 1. |] |]
+      [ "s"; "m1"; "m2"; "win"; "lose"; "unreachable" ]
+  in
+  let l = L.coarsest c in
+  Alcotest.(check int) "mirrors merged" l.L.block_of.(1) l.L.block_of.(2);
+  let original = Dtmc.Absorbing.absorption_probability c ~from:0 ~into:3 in
+  let quotient_win = l.L.block_of.(3) in
+  let lumped =
+    Dtmc.Absorbing.absorption_probability l.L.quotient ~from:l.L.block_of.(0)
+      ~into:quotient_win
+  in
+  check_close ~tol:1e-12 "absorption preserved" original lumped;
+  let steps_original = Dtmc.Absorbing.expected_steps c ~from:0 in
+  let steps_lumped =
+    Dtmc.Absorbing.expected_steps l.L.quotient ~from:l.L.block_of.(0)
+  in
+  check_close ~tol:1e-12 "expected steps preserved" steps_original steps_lumped
+
+let test_asymmetric_chain_does_not_lump () =
+  let c =
+    chain_of
+      [| [| 0.; 0.5; 0.5; 0. |];
+         [| 0.; 0.; 0.; 1. |];
+         [| 0.3; 0.; 0.; 0.7 |];
+         [| 0.; 0.; 0.; 1. |] |]
+      [ "s"; "quiet"; "loud"; "done" ]
+  in
+  let l = L.coarsest c in
+  Alcotest.(check int) "no reduction" 4 (C.size l.L.quotient)
+
+let test_initial_partition_respected () =
+  (* forcing b1 and b2 apart up front blocks the merge *)
+  let l = L.coarsest ~initial:(fun s -> s) parallel_branches in
+  Alcotest.(check int) "identity seed: no merging" 4 (C.size l.L.quotient)
+
+let test_absorbing_states_stay_apart () =
+  (* two absorbing states never merge under the default seed *)
+  let c =
+    chain_of
+      [| [| 0.; 0.5; 0.5 |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |] |]
+      [ "s"; "a"; "b" ]
+  in
+  let l = L.coarsest c in
+  Alcotest.(check bool) "a and b distinct" true (l.L.block_of.(1) <> l.L.block_of.(2))
+
+let test_is_lumpable () =
+  Alcotest.(check bool) "good partition" true
+    (L.is_lumpable parallel_branches ~partition:(function
+      | 1 | 2 -> 1
+      | 0 -> 0
+      | _ -> 2));
+  Alcotest.(check bool) "bad partition" false
+    (L.is_lumpable parallel_branches ~partition:(function
+      | 0 | 1 -> 0
+      | _ -> 1))
+
+let test_big_symmetric_ring_collapses () =
+  (* k identical parallel chains from start to done: the quotient is
+     always start -> stage -> done regardless of k *)
+  let k = 20 in
+  let n = (2 * k) + 2 in
+  let m = M.create ~rows:n ~cols:n in
+  (* state 0 = start; 1..k = first stage; k+1..2k = second stage;
+     2k+1 = done *)
+  for i = 1 to k do
+    M.set m 0 i (1. /. float_of_int k);
+    M.set m i (k + i) 1.;
+    M.set m (k + i) ((2 * k) + 1) 1.
+  done;
+  M.set m ((2 * k) + 1) ((2 * k) + 1) 1.;
+  let labels = List.init n (fun i -> Printf.sprintf "s%d" i) in
+  let c = C.create ~states:(Ss.of_labels labels) m in
+  let l = L.coarsest c in
+  Alcotest.(check int) "four blocks" 4 (C.size l.L.quotient);
+  check_close "quotient length preserved" 3.
+    (Dtmc.Absorbing.expected_steps l.L.quotient ~from:l.L.block_of.(0))
+
+let test_lumped_zeroconf_below_roundtrip () =
+  (* with r far below the round trip every probe hop is certain; the
+     chain is a deterministic pipeline and cannot lump (each stage is a
+     different distance from error), which the refinement must detect *)
+  let drm = Zeroconf.Drm.build Zeroconf.Params.figure2 ~n:4 ~r:0.1 in
+  let l = L.coarsest drm.Zeroconf.Drm.chain in
+  Alcotest.(check int) "no spurious merging" 7 (C.size l.L.quotient)
+
+let () =
+  Alcotest.run "lumping"
+    [ ( "coarsest",
+        [ Alcotest.test_case "symmetric branches" `Quick test_symmetric_branches_lump;
+          Alcotest.test_case "preserves absorption" `Quick
+            test_quotient_preserves_absorption;
+          Alcotest.test_case "asymmetric stays" `Quick test_asymmetric_chain_does_not_lump;
+          Alcotest.test_case "initial respected" `Quick test_initial_partition_respected;
+          Alcotest.test_case "absorbing apart" `Quick test_absorbing_states_stay_apart;
+          Alcotest.test_case "big symmetric collapse" `Quick
+            test_big_symmetric_ring_collapses;
+          Alcotest.test_case "zeroconf pipeline" `Quick
+            test_lumped_zeroconf_below_roundtrip ] );
+      ( "checker",
+        [ Alcotest.test_case "is_lumpable" `Quick test_is_lumpable ] ) ]

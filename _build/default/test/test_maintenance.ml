@@ -1,0 +1,108 @@
+module Mnt = Netsim.Maintenance
+
+let one_way = Dist.Families.deterministic ~delay:0.02 ()
+
+let config =
+  Netsim.Newcomer.drm_config ~n:2 ~r:0.2 ~probe_cost:0. ~error_cost:0.
+
+let run ?background_rate ?connection_rate ?(loss = 0.) ~seed () =
+  Mnt.simulate_collision ?background_rate ?connection_rate ~loss ~one_way
+    ~occupied:20 ~pool_size:64 ~config
+    ~rng:(Numerics.Rng.create seed) ()
+
+let test_resolution_structure () =
+  let r = run ~background_rate:1. ~seed:1 () in
+  Alcotest.(check bool) "detection positive" true (r.Mnt.detection_time > 0.);
+  Alcotest.(check bool) "reconfiguration at least n*r" true
+    (r.Mnt.reconfiguration_time >= 0.4 -. 1e-9);
+  Alcotest.(check (float 1e-9)) "disruption adds up"
+    (r.Mnt.detection_time +. r.Mnt.reconfiguration_time)
+    r.Mnt.total_disruption;
+  Alcotest.(check bool) "connections non-negative" true
+    (r.Mnt.broken_connections >= 0)
+
+let test_chattier_network_detects_faster () =
+  (* average detection latency scales with 1/background_rate *)
+  let mean_detection rate =
+    let rng = Numerics.Rng.create 7 in
+    let acc = ref 0. in
+    let trials = 40 in
+    for _ = 1 to trials do
+      let r =
+        Mnt.simulate_collision ~background_rate:rate ~loss:0. ~one_way
+          ~occupied:20 ~pool_size:64 ~config ~rng ()
+      in
+      acc := !acc +. r.Mnt.detection_time
+    done;
+    !acc /. float_of_int trials
+  in
+  let fast = mean_detection 10. in
+  let slow = mean_detection 0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "chatty %.2f s << quiet %.2f s" fast slow)
+    true (fast *. 5. < slow)
+
+let test_loss_delays_detection () =
+  let mean_detection loss =
+    let rng = Numerics.Rng.create 8 in
+    let acc = ref 0. in
+    let trials = 40 in
+    for _ = 1 to trials do
+      let r =
+        Mnt.simulate_collision ~background_rate:1. ~loss ~one_way ~occupied:20
+          ~pool_size:64 ~config ~rng ()
+      in
+      acc := !acc +. r.Mnt.detection_time
+    done;
+    !acc /. float_of_int trials
+  in
+  let clean = mean_detection 0. in
+  let lossy = mean_detection 0.8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "clean %.2f s < lossy %.2f s" clean lossy)
+    true (clean < lossy)
+
+let test_more_connections_on_slow_detection () =
+  let r = run ~background_rate:0.01 ~connection_rate:1. ~seed:3 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d connections opened during %g s of latency"
+       r.Mnt.broken_connections r.Mnt.detection_time)
+    true
+    (r.Mnt.broken_connections > 0)
+
+let test_estimate_error_cost () =
+  let rng = Numerics.Rng.create 9 in
+  let est =
+    Mnt.estimate_error_cost ~per_connection:30. ~background_rate:1. ~loss:0.
+      ~one_way ~occupied:20 ~pool_size:64 ~config ~trials:20 ~rng ()
+  in
+  Alcotest.(check int) "trials recorded" 20 est.Mnt.trials;
+  Alcotest.(check bool) "suggested E consistent" true
+    (Numerics.Safe_float.approx_eq ~rtol:1e-9
+       (est.Mnt.disruption.Numerics.Stats.mean +. (30. *. est.Mnt.mean_broken))
+       est.Mnt.suggested_error_cost);
+  Alcotest.(check bool) "E positive" true (est.Mnt.suggested_error_cost > 0.)
+
+let test_guards () =
+  Alcotest.check_raises "bad background rate"
+    (Invalid_argument "Maintenance.simulate_collision: background_rate <= 0")
+    (fun () -> ignore (run ~background_rate:0. ~seed:1 ()));
+  let rng = Numerics.Rng.create 1 in
+  Alcotest.check_raises "bad trials"
+    (Invalid_argument "Maintenance.estimate_error_cost: trials < 1") (fun () ->
+      ignore
+        (Mnt.estimate_error_cost ~loss:0. ~one_way ~occupied:20 ~pool_size:64
+           ~config ~trials:0 ~rng ()))
+
+let () =
+  Alcotest.run "maintenance"
+    [ ( "resolution",
+        [ Alcotest.test_case "structure" `Quick test_resolution_structure;
+          Alcotest.test_case "chatty detects faster" `Quick
+            test_chattier_network_detects_faster;
+          Alcotest.test_case "loss delays detection" `Quick test_loss_delays_detection;
+          Alcotest.test_case "connections accumulate" `Quick
+            test_more_connections_on_slow_detection ] );
+      ( "cost estimate",
+        [ Alcotest.test_case "aggregation" `Quick test_estimate_error_cost;
+          Alcotest.test_case "guards" `Quick test_guards ] ) ]

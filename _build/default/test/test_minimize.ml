@@ -1,0 +1,109 @@
+module M = Numerics.Minimize
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let parabola x = ((x -. 3.) ** 2.) +. 1.
+
+let test_golden_parabola () =
+  let r = M.golden ~f:parabola 0. 10. in
+  check_close "minimizer" 3. r.M.x;
+  check_close "minimum" 1. r.M.fx
+
+let test_brent_parabola () =
+  let r = M.brent ~f:parabola 0. 10. in
+  check_close "minimizer" 3. r.M.x;
+  check_close "minimum" 1. r.M.fx
+
+let test_brent_nonsmooth () =
+  (* |x - 2| has a kink at the minimum: parabolic steps must fall back *)
+  let r = M.brent ~f:(fun x -> Float.abs (x -. 2.)) 0. 5. in
+  check_close ~tol:1e-5 "kink minimizer" 2. r.M.x
+
+let test_brent_boundary_minimum () =
+  (* monotone increasing: minimum at the left edge *)
+  let r = M.brent ~f:(fun x -> x) 1. 2. in
+  Alcotest.(check bool) "lands at or near the boundary" true (r.M.x < 1.01)
+
+let test_grid_then_brent_multimodal () =
+  (* two valleys; global at x = 4 (depth -2), local at x = 1 (depth -1) *)
+  let f x =
+    (-.exp (-.((x -. 1.) ** 2.) /. 0.05))
+    -. (2. *. exp (-.((x -. 4.) ** 2.) /. 0.05))
+  in
+  let r = M.grid_then_brent ~samples:200 ~f 0. 5. in
+  check_close ~tol:1e-4 "finds the global valley" 4. r.M.x
+
+let test_grid_then_brent_plateau () =
+  (* flat plateau then dip: the zeroconf C_n shape at small r *)
+  let f x = if x < 2. then 10. else ((x -. 3.) ** 2.) +. 1. in
+  let r = M.grid_then_brent ~samples:300 ~f 0. 6. in
+  check_close ~tol:1e-4 "dip after plateau" 3. r.M.x
+
+let test_argmin_int () =
+  let n, v = M.argmin_int ~lo:1 ~hi:20 (fun k -> Float.abs (float_of_int k -. 7.3)) in
+  Alcotest.(check int) "argmin" 7 n;
+  check_close "value" 0.3 v
+
+let test_argmin_int_ties_break_low () =
+  (* f(3) = f(4) are joint minima; definition of N(r) picks the smaller *)
+  let f k = Float.abs (float_of_int k -. 3.5) in
+  let n, _ = M.argmin_int ~lo:1 ~hi:10 f in
+  Alcotest.(check int) "first minimum wins" 3 n
+
+let test_argmin_int_rejects_bad_range () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Minimize.argmin_int: lo > hi")
+    (fun () -> ignore (M.argmin_int ~lo:5 ~hi:1 float_of_int))
+
+let test_argmin_int_hull () =
+  (* convex in k with minimum at 13, far from the start *)
+  let f k = ((float_of_int k -. 13.) ** 2.) +. 5. in
+  let n, v = M.argmin_int_hull ~lo:1 f in
+  Alcotest.(check int) "found distant minimum" 13 n;
+  check_close "value" 5. v
+
+let test_argmin_int_hull_walks_down () =
+  let f k = ((float_of_int k -. 2.) ** 2.) in
+  let n, _ = M.argmin_int_hull ~lo:1 ~start:30 f in
+  Alcotest.(check int) "walked down from start" 2 n
+
+let prop_brent_at_most_golden =
+  QCheck.Test.make ~name:"brent matches golden on random quadratics" ~count:200
+    QCheck.(pair (float_range (-20.) 20.) (float_range 0.1 10.))
+    (fun (centre, width) ->
+      let f x = (x -. centre) ** 2. in
+      let lo = centre -. width and hi = centre +. (1.3 *. width) in
+      let g = M.golden ~f lo hi and b = M.brent ~f lo hi in
+      Float.abs (g.M.x -. b.M.x) < 1e-4)
+
+let prop_grid_then_brent_never_worse_than_grid =
+  QCheck.Test.make ~name:"polish never loses to the raw grid" ~count:200
+    QCheck.(float_range (-5.) 5.)
+    (fun centre ->
+      let f x = Float.abs (x -. centre) ** 1.5 in
+      let r = M.grid_then_brent ~samples:64 ~f (-6.) 6. in
+      (* compare against the best of the same grid *)
+      let grid = Numerics.Grid.linspace (-6.) 6. 65 in
+      let best_grid = Array.fold_left (fun acc x -> Float.min acc (f x)) infinity grid in
+      r.M.fx <= best_grid +. 1e-12)
+
+let () =
+  Alcotest.run "minimize"
+    [ ( "golden",
+        [ Alcotest.test_case "parabola" `Quick test_golden_parabola ] );
+      ( "brent",
+        [ Alcotest.test_case "parabola" `Quick test_brent_parabola;
+          Alcotest.test_case "non-smooth" `Quick test_brent_nonsmooth;
+          Alcotest.test_case "boundary minimum" `Quick test_brent_boundary_minimum ] );
+      ( "grid_then_brent",
+        [ Alcotest.test_case "multimodal" `Quick test_grid_then_brent_multimodal;
+          Alcotest.test_case "plateau" `Quick test_grid_then_brent_plateau ] );
+      ( "argmin_int",
+        [ Alcotest.test_case "basic" `Quick test_argmin_int;
+          Alcotest.test_case "tie-break" `Quick test_argmin_int_ties_break_low;
+          Alcotest.test_case "bad range" `Quick test_argmin_int_rejects_bad_range;
+          Alcotest.test_case "hull search" `Quick test_argmin_int_hull;
+          Alcotest.test_case "hull walks down" `Quick test_argmin_int_hull_walks_down ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_brent_at_most_golden; prop_grid_then_brent_never_worse_than_grid ] ) ]

@@ -1,0 +1,90 @@
+module M = Dist.Moments
+module F = Dist.Families
+
+let check_close ?(tol = 1e-5) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let test_exponential_moments () =
+  let d = F.exponential ~rate:4. () in
+  check_close "mean 1/4" 0.25 (M.conditional_mean d);
+  check_close "second moment 2/rate^2" 0.125 (M.conditional_second_moment d);
+  check_close "variance 1/16" 0.0625 (M.conditional_variance d);
+  check_close "std 1/4" 0.25 (M.conditional_std d)
+
+let test_paper_fx_mean () =
+  (* the paper's convention: mean reply time d + 1/lambda, conditional on
+     arrival, also for a defective distribution *)
+  let d = F.shifted_exponential ~mass:(1. -. 1e-5) ~rate:10. ~delay:1. () in
+  check_close "d + 1/lambda" 1.1 (M.conditional_mean d)
+
+let test_heavily_defective_mean_unaffected () =
+  (* the conditional mean must not depend on the loss mass *)
+  let light = F.shifted_exponential ~mass:0.99 ~rate:5. ~delay:0.5 () in
+  let heavy = F.shifted_exponential ~mass:0.5 ~rate:5. ~delay:0.5 () in
+  check_close "same conditional mean" (M.conditional_mean light)
+    (M.conditional_mean heavy)
+
+let test_uniform_moments () =
+  let d = F.uniform ~lo:1. ~hi:3. () in
+  check_close "mean 2" 2. (M.conditional_mean d);
+  check_close "variance (hi-lo)^2/12" (1. /. 3.) (M.conditional_variance d)
+
+let test_deterministic_moments () =
+  let d = F.deterministic ~mass:0.7 ~delay:2.5 () in
+  check_close "mean is the atom" 2.5 (M.conditional_mean d);
+  check_close "zero variance" 0. (M.conditional_variance d)
+
+let test_erlang_moments () =
+  let d = F.erlang ~stages:4 ~rate:2. () in
+  check_close "mean k/rate" 2. (M.conditional_mean d);
+  check_close "variance k/rate^2" 1. (M.conditional_variance d)
+
+let prop_matches_stored_mean =
+  let gen =
+    QCheck.Gen.(
+      let* mass = float_range 0.4 1.0 in
+      let* rate = float_range 0.5 10. in
+      let* delay = float_range 0. 2. in
+      oneofl
+        [ F.shifted_exponential ~mass ~rate ~delay ();
+          F.exponential ~mass ~rate ();
+          F.uniform ~mass ~lo:delay ~hi:(delay +. 2.) ();
+          F.erlang ~mass ~stages:3 ~rate () ])
+  in
+  QCheck.Test.make ~name:"numeric mean = closed-form mean" ~count:60
+    (QCheck.make gen)
+    (fun d ->
+      match d.Dist.Distribution.mean with
+      | None -> true
+      | Some closed ->
+          Numerics.Safe_float.approx_eq ~rtol:1e-4 ~atol:1e-6 closed
+            (M.conditional_mean d))
+
+let prop_matches_sampling =
+  QCheck.Test.make ~name:"numeric mean = sampled mean" ~count:10
+    QCheck.(pair (float_range 1. 8.) (float_range 0. 1.))
+    (fun (rate, delay) ->
+      let d = F.shifted_exponential ~rate ~delay () in
+      let rng = Numerics.Rng.create 42 in
+      let samples =
+        Array.init 40_000 (fun _ ->
+            match d.Dist.Distribution.sample rng with
+            | Some x -> x
+            | None -> 0.)
+      in
+      let sampled = Numerics.Safe_float.mean samples in
+      Float.abs (sampled -. M.conditional_mean d) < 0.05 *. M.conditional_mean d)
+
+let () =
+  Alcotest.run "moments"
+    [ ( "closed forms",
+        [ Alcotest.test_case "exponential" `Quick test_exponential_moments;
+          Alcotest.test_case "paper F_X" `Quick test_paper_fx_mean;
+          Alcotest.test_case "defect invariance" `Quick
+            test_heavily_defective_mean_unaffected;
+          Alcotest.test_case "uniform" `Quick test_uniform_moments;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_moments;
+          Alcotest.test_case "erlang" `Quick test_erlang_moments ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_stored_mean; prop_matches_sampling ] ) ]

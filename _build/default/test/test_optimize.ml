@@ -1,0 +1,254 @@
+module O = Zeroconf.Optimize
+module Params = Zeroconf.Params
+module Cost = Zeroconf.Cost
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let fig2 = Params.figure2
+
+(* ---------------- nu (Sec. 4.4) ---------------- *)
+
+let test_nu_figure2 () =
+  (* the paper: E = 1e35, 1 - l = 1e-15 gives nu = 3, explaining why
+     C_1, C_2 are invisible in Figure 2 *)
+  Alcotest.(check int) "nu = 3" 3 (O.min_useful_probes fig2)
+
+let test_nu_realistic () =
+  (* E = 5e20, 1 - l = 1e-12: ceil(20.7/12) = 2, the Sec. 6 result *)
+  Alcotest.(check int) "nu = 2" 2 (O.min_useful_probes Params.realistic_ethernet)
+
+let test_nu_lossless_is_one () =
+  let p =
+    Params.v ~name:"lossless"
+      ~delay:(Dist.Families.shifted_exponential ~rate:10. ~delay:1. ())
+      ~q:0.1 ~probe_cost:1. ~error_cost:1e20
+  in
+  Alcotest.(check int) "no loss -> one probe suffices" 1 (O.min_useful_probes p)
+
+let test_nu_cheap_error_is_one () =
+  let p = Params.with_costs ~error_cost:0.5 fig2 in
+  Alcotest.(check int) "cheap errors need no insurance" 1 (O.min_useful_probes p)
+
+(* ---------------- r_opt (Sec. 4.2) ---------------- *)
+
+let test_optimal_r_figure2_values () =
+  (* regression pins, cross-checked against a fine independent scan *)
+  let r3 = O.optimal_r fig2 ~n:3 in
+  check_close ~tol:1e-3 "r_opt(3)" 2.1416 r3.Numerics.Minimize.x;
+  check_close ~tol:1e-3 "C_3 min" 12.6014 r3.Numerics.Minimize.fx;
+  let r4 = O.optimal_r fig2 ~n:4 in
+  check_close ~tol:1e-3 "r_opt(4)" 1.2436 r4.Numerics.Minimize.x
+
+let test_optimal_r_is_stationary () =
+  List.iter
+    (fun n ->
+      let r = (O.optimal_r fig2 ~n).Numerics.Minimize.x in
+      let d = Cost.derivative fig2 ~n ~r in
+      (* scale the tolerance with the cost magnitude *)
+      let scale = Cost.mean fig2 ~n ~r in
+      Alcotest.(check bool)
+        (Printf.sprintf "dC_%d/dr ~ 0 at r_opt (got %g)" n d)
+        true
+        (Float.abs d < 1e-3 *. scale))
+    [ 3; 4; 5; 6 ]
+
+let test_optimal_r_beats_neighbours () =
+  List.iter
+    (fun n ->
+      let res = O.optimal_r fig2 ~n in
+      let r = res.Numerics.Minimize.x and fx = res.Numerics.Minimize.fx in
+      List.iter
+        (fun dr ->
+          let r' = Float.max 0. (r +. dr) in
+          Alcotest.(check bool)
+            (Printf.sprintf "C_%d(%g) >= min" n r')
+            true
+            (Cost.mean fig2 ~n ~r:r' >= fx -. 1e-9))
+        [ -0.5; -0.1; 0.1; 0.5; 2. ])
+    [ 3; 5; 8 ]
+
+let test_r_opt_decreases_with_n () =
+  (* the paper: "The higher n is chosen, the smaller r_opt" *)
+  let previous = ref infinity in
+  List.iter
+    (fun n ->
+      let r = (O.optimal_r fig2 ~n).Numerics.Minimize.x in
+      Alcotest.(check bool) (Printf.sprintf "r_opt(%d) < r_opt(%d)" n (n - 1)) true
+        (r < !previous);
+      previous := r)
+    [ 3; 4; 5; 6; 7; 8 ]
+
+let test_min_cost_increases_past_three () =
+  (* the paper: C_3(r_opt) < C_4(r_opt) < ... < C_8(r_opt) *)
+  let costs =
+    List.map (fun n -> (O.optimal_r fig2 ~n).Numerics.Minimize.fx) [ 3; 4; 5; 6; 7; 8 ]
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "increasing chain" true (increasing costs)
+
+(* ---------------- N(r) and C_min (Sec. 4.4) ---------------- *)
+
+let test_optimal_n_matches_exhaustive () =
+  List.iter
+    (fun r ->
+      let n_found, cost_found = O.optimal_n fig2 ~r in
+      let n_brute, cost_brute =
+        Numerics.Minimize.argmin_int ~lo:1 ~hi:64 (fun n -> Cost.mean fig2 ~n ~r)
+      in
+      Alcotest.(check int) (Printf.sprintf "N(%g)" r) n_brute n_found;
+      check_close ~tol:1e-9 "same cost" cost_brute cost_found)
+    [ 0.2; 0.5; 1.; 2.; 4.; 6. ]
+
+let test_optimal_n_non_increasing_in_r () =
+  (* longer listening periods never ask for more probes *)
+  let previous = ref max_int in
+  Array.iter
+    (fun r ->
+      let n, _ = O.optimal_n fig2 ~r in
+      Alcotest.(check bool) (Printf.sprintf "N non-increasing at %g" r) true
+        (n <= !previous);
+      previous := n)
+    (Numerics.Grid.linspace 0.3 6. 30)
+
+let test_min_cost_is_lower_envelope () =
+  List.iter
+    (fun r ->
+      let envelope = O.min_cost fig2 ~r in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "C_min(%g) <= C_%d(%g)" r n r)
+            true
+            (envelope <= Cost.mean fig2 ~n ~r +. 1e-9))
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    [ 0.5; 1.; 2.; 3. ]
+
+let test_error_under_optimal_n () =
+  let r = 2. in
+  let n, _ = O.optimal_n fig2 ~r in
+  check_close ~tol:1e-30 "consistent with direct computation"
+    (Zeroconf.Reliability.error_probability fig2 ~n ~r)
+    (O.error_under_optimal_n fig2 ~r)
+
+(* ---------------- global optimum (Sec. 6) ---------------- *)
+
+let test_global_optimum_realistic_matches_paper () =
+  let o = O.global_optimum Params.realistic_ethernet in
+  Alcotest.(check int) "n = 2" 2 o.O.n;
+  check_close ~tol:5e-3 "r ~ 1.75" 1.7484 o.O.r;
+  Alcotest.(check bool)
+    (Printf.sprintf "error prob %.3g ~ 4e-22" o.O.error_prob)
+    true
+    (o.O.error_prob > 3.5e-22 && o.O.error_prob < 4.5e-22)
+
+let test_global_optimum_figure2 () =
+  let o = O.global_optimum fig2 in
+  Alcotest.(check int) "n = 3 on figure2" 3 o.O.n;
+  check_close ~tol:5e-3 "r_opt" 2.1416 o.O.r
+
+let test_global_optimum_dominates_grid () =
+  let o = O.global_optimum fig2 in
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "optimum <= C(%d, %g)" n r)
+            true
+            (o.O.cost <= Cost.mean fig2 ~n ~r +. 1e-9))
+        (Numerics.Grid.linspace 0.1 6. 25))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* ---------------- constrained / inverse queries ---------------- *)
+
+let test_constrained_respects_budget () =
+  List.iter
+    (fun budget ->
+      let o = O.constrained_optimum ~budget fig2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n*r = %g within %g" (float_of_int o.O.n *. o.O.r) budget)
+        true
+        (float_of_int o.O.n *. o.O.r <= budget +. 1e-9))
+    [ 1.; 2.; 4.; 8.; 20. ]
+
+let test_constrained_converges_to_global () =
+  (* a generous budget reproduces the unconstrained optimum *)
+  let free = O.global_optimum fig2 in
+  let capped = O.constrained_optimum ~budget:100. fig2 in
+  Alcotest.(check int) "same n" free.O.n capped.O.n;
+  check_close ~tol:1e-3 "same r" free.O.r capped.O.r
+
+let test_constrained_monotone_in_budget () =
+  let cost budget = (O.constrained_optimum ~budget fig2).O.cost in
+  Alcotest.(check bool) "looser budget never hurts" true
+    (cost 8. <= cost 4. +. 1e-9 && cost 4. <= cost 2. +. 1e-9)
+
+let test_constrained_guard () =
+  Alcotest.check_raises "budget <= 0"
+    (Invalid_argument "Optimize.constrained_optimum: budget <= 0") (fun () ->
+      ignore (O.constrained_optimum ~budget:0. fig2))
+
+let test_probes_for_error_target () =
+  (* minimality: the found n meets the target, n - 1 does not *)
+  List.iter
+    (fun target ->
+      match O.probes_for_error_target fig2 ~r:2. ~target with
+      | None -> Alcotest.fail "expected a solution"
+      | Some n ->
+          Alcotest.(check bool) "meets the target" true
+            (Zeroconf.Reliability.error_probability fig2 ~n ~r:2. <= target);
+          if n > 1 then
+            Alcotest.(check bool) "minimal" true
+              (Zeroconf.Reliability.error_probability fig2 ~n:(n - 1) ~r:2.
+              > target))
+    [ 1e-6; 1e-12; 1e-30 ]
+
+let test_probes_for_unreachable_target () =
+  (* with heavy permanent loss the error floor blocks deep targets *)
+  let lossy =
+    Params.v ~name:"lossy"
+      ~delay:(Dist.Families.shifted_exponential ~mass:0.5 ~rate:10. ~delay:0.1 ())
+      ~q:0.5 ~probe_cost:1. ~error_cost:10.
+  in
+  (* floor per probe is 0.5: E(n, r) >= q * 0.5^n / ... but with n_max 8
+     it cannot reach 1e-30 *)
+  Alcotest.(check (option int)) "unreachable" None
+    (O.probes_for_error_target ~n_max:8 lossy ~r:1. ~target:1e-30)
+
+let () =
+  Alcotest.run "optimize"
+    [ ( "nu",
+        [ Alcotest.test_case "figure2" `Quick test_nu_figure2;
+          Alcotest.test_case "realistic" `Quick test_nu_realistic;
+          Alcotest.test_case "lossless" `Quick test_nu_lossless_is_one;
+          Alcotest.test_case "cheap error" `Quick test_nu_cheap_error_is_one ] );
+      ( "optimal r",
+        [ Alcotest.test_case "figure2 values" `Quick test_optimal_r_figure2_values;
+          Alcotest.test_case "stationarity" `Quick test_optimal_r_is_stationary;
+          Alcotest.test_case "beats neighbours" `Quick test_optimal_r_beats_neighbours;
+          Alcotest.test_case "decreasing in n" `Quick test_r_opt_decreases_with_n;
+          Alcotest.test_case "minima ordered" `Quick test_min_cost_increases_past_three ] );
+      ( "optimal n",
+        [ Alcotest.test_case "matches exhaustive" `Quick test_optimal_n_matches_exhaustive;
+          Alcotest.test_case "non-increasing" `Quick test_optimal_n_non_increasing_in_r;
+          Alcotest.test_case "lower envelope" `Quick test_min_cost_is_lower_envelope;
+          Alcotest.test_case "error under optimal n" `Quick test_error_under_optimal_n ] );
+      ( "global optimum",
+        [ Alcotest.test_case "Sec. 6 headline" `Quick
+            test_global_optimum_realistic_matches_paper;
+          Alcotest.test_case "figure2" `Quick test_global_optimum_figure2;
+          Alcotest.test_case "dominates grid" `Quick test_global_optimum_dominates_grid ] );
+      ( "constrained and inverse",
+        [ Alcotest.test_case "budget respected" `Quick test_constrained_respects_budget;
+          Alcotest.test_case "matches global when loose" `Quick
+            test_constrained_converges_to_global;
+          Alcotest.test_case "monotone in budget" `Quick
+            test_constrained_monotone_in_budget;
+          Alcotest.test_case "guard" `Quick test_constrained_guard;
+          Alcotest.test_case "probes for target" `Quick test_probes_for_error_target;
+          Alcotest.test_case "unreachable target" `Quick
+            test_probes_for_unreachable_target ] ) ]

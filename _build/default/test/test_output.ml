@@ -1,0 +1,312 @@
+module Axis = Output.Axis
+module Svg = Output.Svg
+module Table = Output.Table
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* ---------------- axes ---------------- *)
+
+let test_axis_projection_linear () =
+  let a = Axis.create ~lo:0. ~hi:10. () in
+  check_close "lo" 0. (Axis.project a 0.);
+  check_close "hi" 1. (Axis.project a 10.);
+  check_close "mid" 0.5 (Axis.project a 5.);
+  check_close "clamped below" 0. (Axis.project a (-5.));
+  check_close "clamped above" 1. (Axis.project a 15.)
+
+let test_axis_projection_log () =
+  let a = Axis.create ~scale:Axis.Log10 ~lo:1. ~hi:100. () in
+  check_close "mid decade" 0.5 (Axis.project a 10.);
+  check_close "non-positive clamps" 0. (Axis.project a (-1.))
+
+let test_axis_ticks_linear () =
+  let a = Axis.create ~lo:0. ~hi:10. () in
+  let ticks = Axis.ticks a in
+  Alcotest.(check bool) "a few ticks" true (List.length ticks >= 4);
+  List.iter
+    (fun (v, _) ->
+      Alcotest.(check bool) "in range" true (v >= 0. && v <= 10.))
+    ticks;
+  (* ticks are nice multiples *)
+  List.iter
+    (fun (v, _) ->
+      Alcotest.(check bool) (Printf.sprintf "%g is a multiple of 2" v) true
+        (Float.is_integer (v /. 2.)))
+    ticks
+
+let test_axis_ticks_log () =
+  let a = Axis.create ~scale:Axis.Log10 ~lo:1e-3 ~hi:1e3 () in
+  let ticks = Axis.ticks a in
+  List.iter
+    (fun (v, label) ->
+      Alcotest.(check bool) "decade" true
+        (Float.is_integer (Float.round (log10 v)));
+      Alcotest.(check bool) "labelled as power" true (contains label "1e"))
+    ticks
+
+let test_axis_of_data () =
+  let a = Axis.of_data [| 1.; 5.; 3. |] in
+  Alcotest.(check bool) "covers data" true (Axis.lo a <= 1. && Axis.hi a >= 5.);
+  Alcotest.check_raises "empty" (Invalid_argument "Axis.of_data: empty data")
+    (fun () -> ignore (Axis.of_data [||]))
+
+let test_axis_guards () =
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Axis.create: need lo < hi")
+    (fun () -> ignore (Axis.create ~lo:1. ~hi:1. ()));
+  Alcotest.check_raises "log with zero"
+    (Invalid_argument "Axis.create: log axis needs lo > 0") (fun () ->
+      ignore (Axis.create ~scale:Axis.Log10 ~lo:0. ~hi:1. ()))
+
+(* ---------------- svg ---------------- *)
+
+let test_svg_document_structure () =
+  let s = Svg.create ~width:100 ~height:50 in
+  Svg.line s (0., 0.) (10., 10.);
+  Svg.polyline s [ (0., 0.); (5., 5.); (10., 0.) ];
+  Svg.rect s ~fill:"red" (1., 1.) (5., 5.);
+  Svg.circle s (3., 3.) 1.;
+  Svg.text s ~x:2. ~y:2. "hello";
+  let doc = Svg.to_string s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains doc needle))
+    [ "<svg"; "width=\"100\""; "<line"; "<polyline"; "<rect"; "<circle";
+      "<text"; "hello"; "</svg>" ]
+
+let test_svg_escaping () =
+  let s = Svg.create ~width:10 ~height:10 in
+  Svg.text s ~x:0. ~y:0. "a<b & c>d \"q\"";
+  let doc = Svg.to_string s in
+  Alcotest.(check bool) "escaped lt" true (contains doc "a&lt;b");
+  Alcotest.(check bool) "escaped amp" true (contains doc "&amp;");
+  Alcotest.(check bool) "escaped quote" true (contains doc "&quot;")
+
+let test_svg_degenerate_polyline_dropped () =
+  let s = Svg.create ~width:10 ~height:10 in
+  Svg.polyline s [ (1., 1.) ];
+  Alcotest.(check bool) "no polyline emitted" false
+    (contains (Svg.to_string s) "<polyline")
+
+let test_svg_save_roundtrip () =
+  let s = Svg.create ~width:20 ~height:20 in
+  Svg.circle s (10., 10.) 5.;
+  let path = Filename.temp_file "test_svg" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Svg.save s path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check string) "file matches" (Svg.to_string s) contents)
+
+(* ---------------- chart ---------------- *)
+
+let test_chart_renders_series_and_legend () =
+  let chart =
+    { Output.Chart.title = "demo";
+      x_label = "x";
+      y_label = "y";
+      x_axis = Axis.create ~lo:0. ~hi:10. ();
+      y_axis = Axis.create ~lo:0. ~hi:10. ();
+      series =
+        [ Output.Chart.series ~label:"rising"
+            (Array.init 11 (fun i -> (float_of_int i, float_of_int i))) ] }
+  in
+  let doc = Svg.to_string (Output.Chart.render chart) in
+  Alcotest.(check bool) "title present" true (contains doc "demo");
+  Alcotest.(check bool) "legend present" true (contains doc "rising");
+  Alcotest.(check bool) "a polyline drawn" true (contains doc "<polyline")
+
+let test_chart_clips_out_of_range () =
+  (* a series entirely above the frame must not produce a polyline *)
+  let chart =
+    { Output.Chart.title = "clip";
+      x_label = "x";
+      y_label = "y";
+      x_axis = Axis.create ~lo:0. ~hi:10. ();
+      y_axis = Axis.create ~lo:0. ~hi:1. ();
+      series =
+        [ Output.Chart.series ~label:"huge"
+            (Array.init 11 (fun i -> (float_of_int i, 1e10))) ] }
+  in
+  let doc = Svg.to_string (Output.Chart.render chart) in
+  Alcotest.(check bool) "clipped away" false (contains doc "<polyline")
+
+(* ---------------- ascii chart ---------------- *)
+
+let test_ascii_plot_marks_series () =
+  let out =
+    Output.Ascii_chart.plot ~title:"t"
+      [ ("s1", [| (0., 0.); (1., 1.) |]); ("s2", [| (0., 1.); (1., 0.) |]) ]
+  in
+  Alcotest.(check bool) "title" true (contains out "t");
+  Alcotest.(check bool) "legend a" true (contains out "a = s1");
+  Alcotest.(check bool) "legend b" true (contains out "b = s2");
+  Alcotest.(check bool) "marks drawn" true (contains out "a" && contains out "b")
+
+let test_ascii_plot_guards () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Ascii_chart.plot: too small") (fun () ->
+      ignore (Output.Ascii_chart.plot ~width:4 ~height:2 ~title:"x" []))
+
+(* ---------------- tables ---------------- *)
+
+let test_table_text_alignment () =
+  let t =
+    Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let text = Table.to_text t in
+  Alcotest.(check bool) "header" true (contains text "name");
+  Alcotest.(check bool) "separator" true (contains text "----");
+  (* right-aligned numbers end in the same column *)
+  let lines = String.split_on_char '\n' text in
+  let data_lines = List.filteri (fun i _ -> i >= 2) lines in
+  (match data_lines with
+  | a :: b :: _ ->
+      Alcotest.(check int) "equal widths" (String.length a) (String.length b)
+  | _ -> Alcotest.fail "missing rows");
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Table.add_row: column count mismatch") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_table_markdown () =
+  let t =
+    Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_float_row t [ 1.5; 2.25 ];
+  let md = Table.to_markdown t in
+  Alcotest.(check bool) "pipes" true (contains md "| name | value |");
+  Alcotest.(check bool) "alignment row" true (contains md ":--- | ---:");
+  Alcotest.(check bool) "floats formatted" true (contains md "2.25")
+
+(* ---------------- csv ---------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_csv_quoting () =
+  let path = Filename.temp_file "test_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Output.Csv.write ~path ~header:[ "a"; "b" ]
+        [ [ "plain"; "has,comma" ]; [ "has\"quote"; "fine" ] ];
+      let contents = read_file path in
+      Alcotest.(check bool) "comma quoted" true (contains contents "\"has,comma\"");
+      Alcotest.(check bool) "quote doubled" true (contains contents "\"has\"\"quote\""))
+
+let test_csv_series_join () =
+  let path = Filename.temp_file "test_csv2" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Output.Csv.write_series ~path ~x_label:"r"
+        [ ("f", [| (1., 10.); (2., 20.) |]); ("g", [| (1., 11.); (2., 21.) |]) ];
+      let contents = read_file path in
+      Alcotest.(check bool) "header" true (contains contents "r,f,g");
+      Alcotest.(check bool) "row joined" true (contains contents "2,20,21"))
+
+let test_csv_series_grid_mismatch () =
+  Alcotest.check_raises "mismatched grids"
+    (Invalid_argument "Csv.write_series: mismatched grids") (fun () ->
+      Output.Csv.write_series ~path:"/dev/null" ~x_label:"r"
+        [ ("f", [| (1., 10.) |]); ("g", [| (2., 11.) |]) ])
+
+(* ---------------- heatmap ---------------- *)
+
+let sample_heatmap =
+  { Output.Heatmap.title = "hm";
+    x_label = "x";
+    y_label = "y";
+    x_ticks = [| "a"; "b"; "c" |];
+    y_ticks = [| "r1"; "r2" |];
+    values = [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] }
+
+let test_heatmap_structure () =
+  let doc = Svg.to_string (Output.Heatmap.render sample_heatmap) in
+  Alcotest.(check bool) "title" true (contains doc "hm");
+  Alcotest.(check bool) "legend min" true (contains doc "min 1");
+  Alcotest.(check bool) "legend max" true (contains doc "max 6");
+  Alcotest.(check bool) "tick label" true (contains doc "r2");
+  (* 6 cells + 2 legend swatches + background *)
+  let rects =
+    List.length (String.split_on_char '\n' doc)
+    |> fun _ ->
+    let count = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = '<' && i + 5 <= String.length doc && String.sub doc i 5 = "<rect"
+        then incr count)
+      doc;
+    !count
+  in
+  Alcotest.(check int) "rect count" 9 rects
+
+let test_heatmap_nonfinite_cells_grey () =
+  let hm =
+    { sample_heatmap with
+      Output.Heatmap.values = [| [| 1.; nan; 3. |]; [| 4.; 5.; infinity |] |] }
+  in
+  let doc = Svg.to_string (Output.Heatmap.render hm) in
+  Alcotest.(check bool) "grey cell present" true (contains doc "#bbbbbb")
+
+let test_heatmap_validation () =
+  (try
+     ignore
+       (Output.Heatmap.render
+          { sample_heatmap with Output.Heatmap.values = [| [| 1. |]; [| 1.; 2. |] |] });
+     Alcotest.fail "accepted ragged data"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Output.Heatmap.render
+         { sample_heatmap with Output.Heatmap.y_ticks = [| "only" |] });
+    Alcotest.fail "accepted mismatched ticks"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "output"
+    [ ( "heatmap",
+        [ Alcotest.test_case "structure" `Quick test_heatmap_structure;
+          Alcotest.test_case "non-finite cells" `Quick test_heatmap_nonfinite_cells_grey;
+          Alcotest.test_case "validation" `Quick test_heatmap_validation ] );
+      ( "axis",
+        [ Alcotest.test_case "linear projection" `Quick test_axis_projection_linear;
+          Alcotest.test_case "log projection" `Quick test_axis_projection_log;
+          Alcotest.test_case "linear ticks" `Quick test_axis_ticks_linear;
+          Alcotest.test_case "log ticks" `Quick test_axis_ticks_log;
+          Alcotest.test_case "of_data" `Quick test_axis_of_data;
+          Alcotest.test_case "guards" `Quick test_axis_guards ] );
+      ( "svg",
+        [ Alcotest.test_case "structure" `Quick test_svg_document_structure;
+          Alcotest.test_case "escaping" `Quick test_svg_escaping;
+          Alcotest.test_case "degenerate polyline" `Quick
+            test_svg_degenerate_polyline_dropped;
+          Alcotest.test_case "save" `Quick test_svg_save_roundtrip ] );
+      ( "chart",
+        [ Alcotest.test_case "series + legend" `Quick test_chart_renders_series_and_legend;
+          Alcotest.test_case "clipping" `Quick test_chart_clips_out_of_range ] );
+      ( "ascii",
+        [ Alcotest.test_case "marks" `Quick test_ascii_plot_marks_series;
+          Alcotest.test_case "guards" `Quick test_ascii_plot_guards ] );
+      ( "table",
+        [ Alcotest.test_case "text" `Quick test_table_text_alignment;
+          Alcotest.test_case "markdown" `Quick test_table_markdown ] );
+      ( "csv",
+        [ Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "series join" `Quick test_csv_series_join;
+          Alcotest.test_case "grid mismatch" `Quick test_csv_series_grid_mismatch ] ) ]

@@ -1,0 +1,119 @@
+module P = Dtmc.Pctl
+module Parser = Dtmc.Pctl_parser
+
+let formula = Alcotest.testable (fun ppf _ -> Format.fprintf ppf "<formula>") ( = )
+
+let check_parse msg expected input =
+  Alcotest.check formula msg expected (Parser.formula input)
+
+let test_atoms () =
+  check_parse "true" P.True "true";
+  check_parse "false" (P.Not P.True) "false";
+  check_parse "ident" (P.Ap "error") "error";
+  check_parse "underscored" (P.Ap "ok_state") "ok_state"
+
+let test_boolean_structure () =
+  check_parse "negation" (P.Not (P.Ap "a")) "!a";
+  check_parse "double negation" (P.Not (P.Not (P.Ap "a"))) "!!a";
+  check_parse "and" (P.And (P.Ap "a", P.Ap "b")) "a & b";
+  check_parse "or" (P.Or (P.Ap "a", P.Ap "b")) "a | b";
+  check_parse "implies" (P.Implies (P.Ap "a", P.Ap "b")) "a => b"
+
+let test_precedence () =
+  (* ! binds tighter than &, & tighter than |, | tighter than => *)
+  check_parse "not-and" (P.And (P.Not (P.Ap "a"), P.Ap "b")) "!a & b";
+  check_parse "and-or"
+    (P.Or (P.And (P.Ap "a", P.Ap "b"), P.Ap "c"))
+    "a & b | c";
+  check_parse "or-implies"
+    (P.Implies (P.Or (P.Ap "a", P.Ap "b"), P.Ap "c"))
+    "a | b => c";
+  check_parse "parens override"
+    (P.And (P.Ap "a", P.Or (P.Ap "b", P.Ap "c")))
+    "a & (b | c)";
+  (* implies is right-associative *)
+  check_parse "implies assoc"
+    (P.Implies (P.Ap "a", P.Implies (P.Ap "b", P.Ap "c")))
+    "a => b => c"
+
+let test_probability_operator () =
+  check_parse "eventually"
+    (P.Prob (P.Ge, 0.5, P.Eventually (P.Ap "rich")))
+    "P>=0.5 [ F rich ]";
+  check_parse "scientific bound"
+    (P.Prob (P.Lt, 1e-40, P.Eventually (P.Ap "error")))
+    "P<1e-40 [ F error ]";
+  check_parse "integer bound"
+    (P.Prob (P.Le, 1., P.Next (P.Ap "ok")))
+    "P<=1 [ X ok ]";
+  check_parse "until"
+    (P.Prob (P.Gt, 0.9, P.Until (P.Not (P.Ap "error"), P.Ap "ok")))
+    "P>0.9 [ !error U ok ]";
+  check_parse "bounded until"
+    (P.Prob (P.Ge, 0.25, P.Bounded_until (P.True, P.Ap "rich", 2)))
+    "P>=0.25 [ true U<=2 rich ]";
+  check_parse "bounded eventually"
+    (P.Prob (P.Ge, 0.25, P.Bounded_eventually (P.Ap "rich", 7)))
+    "P>=0.25 [ F<=7 rich ]";
+  check_parse "globally"
+    (P.Prob (P.Ge, 0.99, P.Globally (P.Not (P.Ap "broke"))))
+    "P>=0.99 [ G !broke ]"
+
+let test_nesting () =
+  check_parse "nested P"
+    (P.Prob
+       ( P.Ge, 0.5,
+         P.Eventually (P.Prob (P.Le, 0.25, P.Eventually (P.Ap "broke"))) ))
+    "P>=0.5 [ F P<=0.25 [ F broke ] ]"
+
+let test_path_entry_point () =
+  Alcotest.(check bool) "bare path" true
+    (Parser.path "F ok" = P.Eventually (P.Ap "ok"));
+  Alcotest.(check bool) "bare until" true
+    (Parser.path "!a U b" = P.Until (P.Not (P.Ap "a"), P.Ap "b"))
+
+let test_errors () =
+  List.iter
+    (fun input ->
+      try
+        ignore (Parser.formula input);
+        Alcotest.failf "accepted %S" input
+      with Parser.Parse_error _ -> ())
+    [ ""; "&"; "P [ F a ]"; "P>= [ F a ]"; "P>=0.5 F a"; "P>=0.5 [ a ]";
+      "a U b" (* path at formula level *); "(a"; "a b"; "F<= a"; "@" ]
+
+let test_whitespace_insensitive () =
+  Alcotest.(check bool) "spacing variants agree" true
+    (Parser.formula "P>=0.5[F rich]" = Parser.formula "P >= 0.5 [ F  rich ]")
+
+(* end-to-end: parse and check on a real chain *)
+let test_parse_and_check_on_zeroconf () =
+  let drm = Zeroconf.Drm.build Zeroconf.Params.figure2 ~n:4 ~r:2. in
+  let chain = drm.Zeroconf.Drm.chain in
+  let labels = P.label_of_state chain in
+  let holds text =
+    P.holds chain labels ~from:drm.Zeroconf.Drm.start (Parser.formula text)
+  in
+  Alcotest.(check bool) "safety" true (holds "P<1e-40 [ F error ]");
+  Alcotest.(check bool) "liveness" true (holds "P>0.99 [ F ok ]");
+  Alcotest.(check bool) "one-shot" true (holds "P>=0.98 [ X ok ]");
+  Alcotest.(check bool) "negated claim fails" false (holds "P>=0.5 [ F error ]");
+  (* the paper's reliability statement, parsed *)
+  Alcotest.(check bool) "conjunction" true
+    (holds "P>0.9 [ !error U ok ] & P<1e-40 [ F error ]")
+
+let () =
+  Alcotest.run "pctl_parser"
+    [ ( "grammar",
+        [ Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "booleans" `Quick test_boolean_structure;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "probability" `Quick test_probability_operator;
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "path entry" `Quick test_path_entry_point ] );
+      ( "robustness",
+        [ Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "whitespace" `Quick test_whitespace_insensitive ] );
+      ( "integration",
+        [ Alcotest.test_case "zeroconf judgements" `Quick
+            test_parse_and_check_on_zeroconf ] ) ]

@@ -1,0 +1,162 @@
+module Ph = Dist.Phase_type
+module F = Dist.Families
+module D = Dist.Distribution
+
+let check_close ?(tol = 1e-8) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let grid = [ 0.05; 0.2; 0.5; 1.; 2.; 5. ]
+
+let check_same_cdf ?(tol = 1e-8) msg a b =
+  List.iter
+    (fun t ->
+      check_close ~tol
+        (Printf.sprintf "%s cdf at %g" msg t)
+        (a.D.cdf t) (b.D.cdf t))
+    grid
+
+let test_single_phase_is_exponential () =
+  check_same_cdf "PH(1) vs exponential"
+    (Ph.exponential ~rate:3. ())
+    (F.exponential ~rate:3. ())
+
+let test_erlang_matches_family () =
+  check_same_cdf "PH erlang vs closed form"
+    (Ph.erlang ~stages:4 ~rate:2. ())
+    (F.erlang ~stages:4 ~rate:2. ())
+
+let test_hyperexponential_matches_mixture () =
+  let ph = Ph.hyperexponential [ (0.3, 1.); (0.7, 5.) ] in
+  let mix =
+    F.mixture [ (0.3, F.exponential ~rate:1. ()); (0.7, F.exponential ~rate:5. ()) ]
+  in
+  check_same_cdf "PH hyperexp vs mixture" ph mix
+
+let test_coxian_all_continue_is_erlang () =
+  let cox =
+    Ph.coxian ~rates:[| 2.; 2.; 2. |] ~continue_probs:[| 1.; 1. |] ()
+  in
+  check_same_cdf "coxian(1,1) = erlang-3" cox (F.erlang ~stages:3 ~rate:2. ())
+
+let test_coxian_never_continue_is_exponential () =
+  let cox = Ph.coxian ~rates:[| 2.; 7. |] ~continue_probs:[| 0. |] () in
+  check_same_cdf "coxian(0) = exp" cox (F.exponential ~rate:2. ())
+
+let test_mean_matches_closed_form () =
+  let d = Ph.erlang ~stages:5 ~rate:2. () in
+  check_close "mean 5/2" 2.5 (Option.get d.D.mean);
+  let h = Ph.hyperexponential [ (0.5, 1.); (0.5, 4.) ] in
+  check_close "hyperexp mean" ((0.5 /. 1.) +. (0.5 /. 4.)) (Option.get h.D.mean)
+
+let test_defective_mass () =
+  let d = Ph.exponential ~mass:0.8 ~rate:2. () in
+  Alcotest.(check bool) "defective" true (D.is_defective d);
+  check_close "cdf saturates at mass" 0.8 (d.D.cdf 100.);
+  check_close "survival floor" 0.2 (d.D.survival 100.)
+
+let test_self_check () =
+  List.iter
+    (fun d ->
+      match D.check ~hi:20. d with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    [ Ph.exponential ~rate:1. ();
+      Ph.erlang ~stages:3 ~rate:4. ();
+      Ph.hyperexponential [ (0.2, 0.5); (0.8, 3.) ];
+      Ph.coxian ~rates:[| 1.; 2. |] ~continue_probs:[| 0.6 |] () ]
+
+let test_alpha_deficit_is_atom_at_zero () =
+  (* initial mass 0.75 on the phase, 0.25 absorbed immediately *)
+  let d =
+    Ph.create ~alpha:[| 0.75 |]
+      ~sub_generator:(Numerics.Matrix.of_arrays [| [| -1. |] |])
+      ()
+  in
+  check_close "atom at zero" 0.25 (d.D.cdf 0.);
+  check_close "eventually one" 1. (d.D.cdf 50.)
+
+let test_sampling_matches_cdf () =
+  let d = Ph.coxian ~rates:[| 3.; 1. |] ~continue_probs:[| 0.5 |] () in
+  let rng = Numerics.Rng.create 5 in
+  let samples =
+    Array.init 30_000 (fun _ ->
+        match d.D.sample rng with Some x -> x | None -> Alcotest.fail "loss?")
+  in
+  let ecdf = Numerics.Stats.ecdf samples in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ecdf ~ cdf at %g" t)
+        true
+        (Float.abs (ecdf t -. d.D.cdf t) < 0.015))
+    [ 0.2; 0.5; 1.; 2. ];
+  (* sampled mean vs closed-form mean *)
+  let sampled = Numerics.Safe_float.mean samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f ~ %.4f" sampled (Option.get d.D.mean))
+    true
+    (Float.abs (sampled -. Option.get d.D.mean) < 0.02)
+
+let test_usable_in_cost_model () =
+  (* a PH reply-delay drops into the zeroconf model like any other
+     distribution; sanity: cost is finite and error probability behaves *)
+  let delay = Ph.hyperexponential ~mass:0.95 [ (0.7, 10.); (0.3, 1.) ] in
+  let p =
+    Zeroconf.Params.v ~name:"ph-scenario" ~delay ~q:0.1 ~probe_cost:1.
+      ~error_cost:1e4
+  in
+  let c = Zeroconf.Cost.mean p ~n:4 ~r:1. in
+  Alcotest.(check bool) "finite positive cost" true (Float.is_finite c && c > 0.);
+  let e1 = Zeroconf.Reliability.error_probability p ~n:2 ~r:1. in
+  let e2 = Zeroconf.Reliability.error_probability p ~n:4 ~r:1. in
+  Alcotest.(check bool) "more probes help" true (e2 < e1);
+  (* and the DRM matrix route agrees with Eq. 3 for the PH delay too *)
+  let drm = Zeroconf.Drm.build p ~n:3 ~r:0.8 in
+  Alcotest.(check bool) "matrix route agrees" true
+    (Numerics.Safe_float.approx_eq ~rtol:1e-8
+       (Zeroconf.Cost.mean p ~n:3 ~r:0.8)
+       (Zeroconf.Drm.mean_cost drm))
+
+let test_validation () =
+  (try
+     ignore (Ph.create ~alpha:[||] ~sub_generator:(Numerics.Matrix.identity 1) ());
+     Alcotest.fail "accepted empty alpha"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Ph.create ~alpha:[| 1.5 |]
+          ~sub_generator:(Numerics.Matrix.of_arrays [| [| -1. |] |])
+          ());
+     Alcotest.fail "accepted alpha mass > 1"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Ph.create ~alpha:[| 1. |]
+          ~sub_generator:(Numerics.Matrix.of_arrays [| [| 1. |] |])
+          ());
+     Alcotest.fail "accepted positive row sum"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Ph.coxian ~rates:[| 1. |] ~continue_probs:[| 0.5 |] ());
+    Alcotest.fail "accepted mismatched coxian arrays"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "phase_type"
+    [ ( "special cases",
+        [ Alcotest.test_case "exponential" `Quick test_single_phase_is_exponential;
+          Alcotest.test_case "erlang" `Quick test_erlang_matches_family;
+          Alcotest.test_case "hyperexponential" `Quick
+            test_hyperexponential_matches_mixture;
+          Alcotest.test_case "coxian -> erlang" `Quick test_coxian_all_continue_is_erlang;
+          Alcotest.test_case "coxian -> exp" `Quick test_coxian_never_continue_is_exponential ] );
+      ( "moments and mass",
+        [ Alcotest.test_case "means" `Quick test_mean_matches_closed_form;
+          Alcotest.test_case "defective" `Quick test_defective_mass;
+          Alcotest.test_case "self-check" `Quick test_self_check;
+          Alcotest.test_case "alpha deficit" `Quick test_alpha_deficit_is_atom_at_zero ] );
+      ( "integration",
+        [ Alcotest.test_case "sampling" `Quick test_sampling_matches_cdf;
+          Alcotest.test_case "plugs into the cost model" `Quick
+            test_usable_in_cost_model;
+          Alcotest.test_case "validation" `Quick test_validation ] ) ]

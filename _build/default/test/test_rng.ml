@@ -1,0 +1,160 @@
+module Rng = Numerics.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.uint64 a) (Rng.uint64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.uint64 a = Rng.uint64 b then incr same
+  done;
+  Alcotest.(check int) "streams disagree" 0 !same
+
+let test_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.uint64 parent = Rng.uint64 child then incr same
+  done;
+  Alcotest.(check int) "split streams disagree" 0 !same
+
+let test_copy_replays () =
+  let a = Rng.create 9 in
+  ignore (Rng.uint64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.uint64 a) (Rng.uint64 b)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if not (v >= 0 && v < 7) then ok := false
+  done;
+  Alcotest.(check bool) "all in [0, 7)" true !ok;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers_support () =
+  let rng = Rng.create 4 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2_000 do
+    seen.(Rng.int rng 10) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Rng.create 5 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    if not (v >= 0. && v < 1.) then ok := false
+  done;
+  Alcotest.(check bool) "all in [0, 1)" true !ok
+
+let test_uniform_mean () =
+  let rng = Rng.create 6 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.uniform rng ~lo:2. ~hi:4.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean %.4f near 3" mean) true
+    (Float.abs (mean -. 3.) < 0.02)
+
+let test_exponential_mean () =
+  let rng = Rng.create 8 in
+  let n = 100_000 and rate = 4. in
+  let acc = ref 0. and non_negative = ref true in
+  for _ = 1 to n do
+    let v = Rng.exponential rng ~rate in
+    if v < 0. then non_negative := false;
+    acc := !acc +. v
+  done;
+  Alcotest.(check bool) "non-negative" true !non_negative;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean %.4f near 1/4" mean) true
+    (Float.abs (mean -. 0.25) < 0.01)
+
+let test_normal_moments () =
+  let rng = Rng.create 10 in
+  let n = 100_000 in
+  let samples = Array.init n (fun _ -> Rng.normal rng ~mu:5. ~sigma:2.) in
+  let s = Numerics.Stats.summarize samples in
+  Alcotest.(check bool) "mean near 5" true
+    (Float.abs (s.Numerics.Stats.mean -. 5.) < 0.05);
+  Alcotest.(check bool) "std near 2" true
+    (Float.abs (s.Numerics.Stats.std -. 2.) < 0.05)
+
+let test_bool_bias () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "rate %.4f near 0.3" rate) true
+    (Float.abs (rate -. 0.3) < 0.02);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Rng.bool: p not in [0,1]") (fun () ->
+      ignore (Rng.bool rng 1.5))
+
+let test_choose_weighted () =
+  let rng = Rng.create 12 in
+  let counts = Array.make 3 0 in
+  let weights = [| 1.; 2.; 7. |] in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Rng.choose_weighted rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = weights.(i) /. 10. in
+      let rate = float_of_int c /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "weight %d rate %.3f near %.3f" i rate expected)
+        true
+        (Float.abs (rate -. expected) < 0.02))
+    counts;
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.choose_weighted: zero total weight") (fun () ->
+      ignore (Rng.choose_weighted rng [| 0.; 0. |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Rng.choose_weighted: negative weight") (fun () ->
+      ignore (Rng.choose_weighted rng [| 1.; -1. |]))
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 50 Fun.id)
+
+let () =
+  Alcotest.run "rng"
+    [ ( "streams",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "copy" `Quick test_copy_replays ] );
+      ( "int/float",
+        [ Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int coverage" `Quick test_int_covers_support;
+          Alcotest.test_case "float range" `Quick test_float_range ] );
+      ( "distributions",
+        [ Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_normal_moments;
+          Alcotest.test_case "bernoulli" `Quick test_bool_bias;
+          Alcotest.test_case "weighted choice" `Quick test_choose_weighted;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_is_permutation ] ) ]

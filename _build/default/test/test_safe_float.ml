@@ -1,0 +1,123 @@
+module Sf = Numerics.Safe_float
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_approx_eq_basic () =
+  Alcotest.(check bool) "equal values" true (Sf.approx_eq 1. 1.);
+  Alcotest.(check bool) "close values" true (Sf.approx_eq ~rtol:1e-6 1. (1. +. 1e-9));
+  Alcotest.(check bool) "far values" false (Sf.approx_eq 1. 2.);
+  Alcotest.(check bool) "atol catches tiny" true (Sf.approx_eq ~atol:1e-6 0. 1e-9);
+  Alcotest.(check bool) "zero vs zero" true (Sf.approx_eq 0. 0.)
+
+let test_approx_eq_special () =
+  Alcotest.(check bool) "nan never equal" false (Sf.approx_eq Float.nan Float.nan);
+  Alcotest.(check bool) "nan vs number" false (Sf.approx_eq Float.nan 1.);
+  Alcotest.(check bool) "inf equals inf" true (Sf.approx_eq infinity infinity);
+  Alcotest.(check bool) "inf vs -inf" false (Sf.approx_eq infinity neg_infinity)
+
+let test_clamp () =
+  check_float "inside" 0.5 (Sf.clamp ~lo:0. ~hi:1. 0.5);
+  check_float "below" 0. (Sf.clamp ~lo:0. ~hi:1. (-3.));
+  check_float "above" 1. (Sf.clamp ~lo:0. ~hi:1. 7.);
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Safe_float.clamp: lo > hi")
+    (fun () -> ignore (Sf.clamp ~lo:1. ~hi:0. 0.5))
+
+let test_clamp_probability () =
+  check_float "negative rounds to 0" 0. (Sf.clamp_probability (-1e-18));
+  check_float "overshoot rounds to 1" 1. (Sf.clamp_probability (1. +. 1e-12))
+
+let test_log1mexp () =
+  (* log(1 - e^-1) *)
+  check_float "at -1" (log (1. -. exp (-1.))) (Sf.log1mexp (-1.));
+  (* very negative: log(1 - eps) ~ -eps *)
+  Alcotest.(check bool) "tiny tail"
+    true
+    (Sf.approx_eq ~rtol:1e-9 (Sf.log1mexp (-50.)) (-.exp (-50.)));
+  Alcotest.check_raises "rejects non-negative"
+    (Invalid_argument "Safe_float.log1mexp: argument must be negative")
+    (fun () -> ignore (Sf.log1mexp 0.))
+
+let test_log_sum_exp () =
+  check_float "symmetric" (log 2.) (Sf.log_sum_exp 0. 0.);
+  check_float "with neg_infinity" 3. (Sf.log_sum_exp neg_infinity 3.);
+  (* no overflow for large magnitudes *)
+  check_float "huge args" (1000. +. log 2.) (Sf.log_sum_exp 1000. 1000.)
+
+let test_log_diff_exp () =
+  check_float "log(e^2 - e^1)" (log (exp 2. -. exp 1.)) (Sf.log_diff_exp 2. 1.);
+  check_float "a = b gives -inf" neg_infinity (Sf.log_diff_exp 5. 5.);
+  Alcotest.check_raises "a < b rejected"
+    (Invalid_argument "Safe_float.log_diff_exp: a < b") (fun () ->
+      ignore (Sf.log_diff_exp 1. 2.))
+
+let test_sum_compensated () =
+  (* classic cancellation case: 1 + 1e16 - 1e16 *)
+  check_float "neumaier survives cancellation" 2.
+    (Sf.sum [| 1.; 1e16; 1.; -1e16 |]);
+  check_float "empty sum" 0. (Sf.sum [||]);
+  check_float "list version" 2. (Sf.sum_list [ 1.; 1e16; 1.; -1e16 ])
+
+let test_dot () =
+  check_float "orthogonal" 0. (Sf.dot [| 1.; 0. |] [| 0.; 1. |]);
+  check_float "simple" 11. (Sf.dot [| 1.; 2. |] [| 3.; 4. |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Safe_float.dot: length mismatch") (fun () ->
+      ignore (Sf.dot [| 1. |] [| 1.; 2. |]))
+
+let test_mean () =
+  check_float "mean" 2. (Sf.mean [| 1.; 2.; 3. |]);
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Safe_float.mean: empty array") (fun () ->
+      ignore (Sf.mean [||]))
+
+let test_predicates () =
+  Alcotest.(check bool) "0.5 is probability" true (Sf.is_probability 0.5);
+  Alcotest.(check bool) "1 is probability" true (Sf.is_probability 1.);
+  Alcotest.(check bool) "1.1 is not" false (Sf.is_probability 1.1);
+  Alcotest.(check bool) "nan is not" false (Sf.is_probability Float.nan);
+  Alcotest.(check bool) "finite" true (Sf.finite 1.);
+  Alcotest.(check bool) "inf not finite" false (Sf.finite infinity)
+
+let prop_log_sum_exp_matches =
+  QCheck.Test.make ~name:"log_sum_exp agrees with direct computation in range"
+    ~count:500
+    QCheck.(pair (float_range (-20.) 20.) (float_range (-20.) 20.))
+    (fun (a, b) ->
+      Sf.approx_eq ~rtol:1e-12 (Sf.log_sum_exp a b) (log (exp a +. exp b)))
+
+let prop_sum_permutation_invariant =
+  QCheck.Test.make ~name:"compensated sum is permutation-invariant" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 40) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let a = Sf.sum (Array.of_list xs) in
+      let b = Sf.sum (Array.of_list (List.rev xs)) in
+      Sf.approx_eq ~rtol:1e-12 ~atol:1e-9 a b)
+
+let prop_clamp_idempotent =
+  QCheck.Test.make ~name:"clamp is idempotent" ~count:500
+    QCheck.(float_range (-100.) 100.)
+    (fun x ->
+      let once = Sf.clamp ~lo:(-1.) ~hi:1. x in
+      Sf.clamp ~lo:(-1.) ~hi:1. once = once)
+
+let () =
+  Alcotest.run "safe_float"
+    [ ( "approx_eq",
+        [ Alcotest.test_case "basic" `Quick test_approx_eq_basic;
+          Alcotest.test_case "special values" `Quick test_approx_eq_special ] );
+      ( "clamp",
+        [ Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "probability" `Quick test_clamp_probability ] );
+      ( "log-domain helpers",
+        [ Alcotest.test_case "log1mexp" `Quick test_log1mexp;
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+          Alcotest.test_case "log_diff_exp" `Quick test_log_diff_exp ] );
+      ( "reductions",
+        [ Alcotest.test_case "sum" `Quick test_sum_compensated;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "mean" `Quick test_mean ] );
+      ("predicates", [ Alcotest.test_case "predicates" `Quick test_predicates ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_log_sum_exp_matches; prop_sum_permutation_invariant;
+            prop_clamp_idempotent ] ) ]

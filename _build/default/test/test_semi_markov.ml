@@ -1,0 +1,140 @@
+module Sm = Dtmc.Semi_markov
+module M = Numerics.Matrix
+module C = Dtmc.Chain
+module Ss = Dtmc.State_space
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let chain_of arrays labels =
+  C.create ~states:(Ss.of_labels labels) (M.of_arrays arrays)
+
+let test_unit_durations_reduce_to_steps () =
+  (* all durations 1: expected duration = expected steps *)
+  let ruin =
+    chain_of
+      [| [| 1.; 0.; 0. |]; [| 0.5; 0.; 0.5 |]; [| 0.; 0.; 1. |] |]
+      [ "lose"; "play"; "win" ]
+  in
+  let sm = Sm.create ~durations:(fun _ _ -> 1) ruin in
+  check_close "matches expected steps"
+    (Dtmc.Absorbing.expected_steps ruin ~from:1)
+    (Sm.expected_duration sm ~from:1)
+
+let test_deterministic_pipeline () =
+  (* a -> b (3 ticks) -> done (2 ticks): total always 5 *)
+  let c =
+    chain_of
+      [| [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |]; [| 0.; 0.; 1. |] |]
+      [ "a"; "b"; "done" ]
+  in
+  let durations i _ = if i = 0 then 3 else 2 in
+  let sm = Sm.create ~durations c in
+  check_close "expected 5" 5. (Sm.expected_duration sm ~from:0);
+  let d = Sm.distribution sm ~from:0 in
+  check_close "all mass at 5" 1. d.Sm.pmf.(5);
+  check_close "tail empty" 0. d.Sm.tail
+
+let test_zero_duration_edges_resolved_exactly () =
+  (* s splits instantly: 0.5 to a fast path (1 tick), 0.5 back to itself
+     via an instant bounce through t -- the geometric zero-loop that an
+     iterative resolution would only approximate *)
+  let c =
+    chain_of
+      [| [| 0.; 0.5; 0.5; 0. |];
+         [| 1.; 0.; 0.; 0. |];
+         [| 0.; 0.; 0.; 1. |];
+         [| 0.; 0.; 0.; 1. |] |]
+      [ "s"; "bounce"; "fast"; "done" ]
+  in
+  (* s->bounce and bounce->s are instantaneous; s->fast takes 1;
+     fast->done takes 1 *)
+  let durations i j =
+    match (i, j) with 0, 1 -> 0 | 1, 0 -> 0 | 0, 2 -> 1 | 2, 3 -> 1 | _ -> 1
+  in
+  let sm = Sm.create ~durations c in
+  (* the zero loop resolves geometrically: always ends at exactly 2 *)
+  let d = Sm.distribution sm ~from:0 in
+  check_close "all mass at 2 ticks" 1. d.Sm.pmf.(2);
+  check_close "mean 2" 2. (Sm.expected_duration sm ~from:0)
+
+let test_zero_cycle_probability_one_rejected () =
+  let c = chain_of [| [| 0.; 1. |]; [| 1.; 0. |] |] [ "a"; "b" ] in
+  try
+    ignore (Sm.create ~durations:(fun _ _ -> 0) c);
+    Alcotest.fail "accepted a trapping zero-duration cycle"
+  with Invalid_argument _ -> ()
+
+let test_negative_duration_rejected () =
+  let c = chain_of [| [| 0.; 1. |]; [| 0.; 1. |] |] [ "a"; "b" ] in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Semi_markov.create: negative duration") (fun () ->
+      ignore (Sm.create ~durations:(fun _ _ -> -1) c))
+
+let test_distribution_mean_matches_expectation () =
+  let c =
+    chain_of
+      [| [| 0.6; 0.4; 0. |]; [| 0.3; 0.; 0.7 |]; [| 0.; 0.; 1. |] |]
+      [ "x"; "y"; "done" ]
+  in
+  let durations i j = 1 + ((i + j) mod 3) in
+  let sm = Sm.create ~durations c in
+  let d = Sm.distribution ~horizon:2048 sm ~from:0 in
+  Alcotest.(check bool) "tail negligible" true (d.Sm.tail < 1e-12);
+  check_close ~tol:1e-8 "distribution mean = reward solve"
+    (Sm.expected_duration sm ~from:0)
+    (Sm.mean_of_distribution d)
+
+(* The flagship cross-check: the zeroconf latency DP is a special case
+   of the semi-Markov solver on the DRM. *)
+let test_matches_zeroconf_latency () =
+  let p = Zeroconf.Params.with_q Zeroconf.Params.figure2 0.3 in
+  let n = 3 and r = 1.5 in
+  let drm = Zeroconf.Drm.build p ~n ~r in
+  let states = C.states drm.Zeroconf.Drm.chain in
+  let start = drm.Zeroconf.Drm.start and ok = drm.Zeroconf.Drm.ok in
+  let durations src dst =
+    (* hops into probe states take one listening period; start -> ok
+       takes n; aborts and the final error hop are instantaneous *)
+    if src = start && dst = ok then n
+    else if dst = start then 0
+    else if dst = drm.Zeroconf.Drm.error then 0
+    else 1
+  in
+  ignore states;
+  let sm = Sm.create ~durations drm.Zeroconf.Drm.chain in
+  let generic = Sm.distribution ~horizon:512 sm ~from:start in
+  let special = Zeroconf.Latency.periods ~horizon:512 p ~n ~r in
+  Alcotest.(check int) "same support length" (Array.length special.Zeroconf.Latency.pmf)
+    (Array.length generic.Sm.pmf);
+  Array.iteri
+    (fun k mass ->
+      check_close ~tol:1e-12
+        (Printf.sprintf "pmf at %d" k)
+        mass generic.Sm.pmf.(k))
+    special.Zeroconf.Latency.pmf
+
+let test_bad_state_guard () =
+  let c = chain_of [| [| 0.; 1. |]; [| 0.; 1. |] |] [ "a"; "b" ] in
+  let sm = Sm.create ~durations:(fun _ _ -> 1) c in
+  Alcotest.check_raises "bad state"
+    (Invalid_argument "Semi_markov.distribution: bad state") (fun () ->
+      ignore (Sm.distribution sm ~from:7))
+
+let () =
+  Alcotest.run "semi_markov"
+    [ ( "reductions",
+        [ Alcotest.test_case "unit durations" `Quick test_unit_durations_reduce_to_steps;
+          Alcotest.test_case "deterministic pipeline" `Quick test_deterministic_pipeline ] );
+      ( "zero durations",
+        [ Alcotest.test_case "resolved exactly" `Quick
+            test_zero_duration_edges_resolved_exactly;
+          Alcotest.test_case "trapping cycle rejected" `Quick
+            test_zero_cycle_probability_one_rejected;
+          Alcotest.test_case "negative rejected" `Quick test_negative_duration_rejected ] );
+      ( "distributions",
+        [ Alcotest.test_case "mean consistency" `Quick
+            test_distribution_mean_matches_expectation;
+          Alcotest.test_case "matches Zeroconf.Latency" `Quick
+            test_matches_zeroconf_latency;
+          Alcotest.test_case "guards" `Quick test_bad_state_guard ] ) ]

@@ -1,0 +1,113 @@
+module S = Zeroconf.Sensitivity
+module Params = Zeroconf.Params
+
+let scenario = Params.wireless_worst_case
+let knob name knobs = List.find (fun (k : S.knob) -> k.S.name = name) knobs
+let standard = S.standard_knobs scenario
+let delay_knobs = S.shifted_exp_knobs ~loss:1e-5 ~rate:10. ~delay:1.
+
+let test_standard_knobs_roundtrip () =
+  (* applying the current value must reproduce the scenario's outputs *)
+  List.iter
+    (fun (k : S.knob) ->
+      let rebuilt = k.S.apply scenario k.S.value in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s roundtrip" k.S.name)
+        true
+        (Numerics.Safe_float.approx_eq ~rtol:1e-12
+           (Zeroconf.Cost.mean scenario ~n:4 ~r:2.)
+           (Zeroconf.Cost.mean rebuilt ~n:4 ~r:2.)))
+    (standard @ delay_knobs)
+
+let test_postage_elasticity_exact () =
+  (* C is affine in c: d ln C / d ln c = c * G / ((r + c) G + small) --
+     with the error term negligible this is c/(r+c) scaled by the share
+     of (r+c) in the cost.  Sanity: within (0, 1). *)
+  let e = S.cost_elasticity scenario (knob "c" standard) ~n:4 ~r:2. in
+  Alcotest.(check bool) (Printf.sprintf "c elasticity %.4f in (0,1)" e) true
+    (e > 0. && e < 1.)
+
+let test_error_cost_elasticity_small () =
+  (* at the draft point the qE pi term is tiny, so E barely moves C *)
+  let e = S.cost_elasticity scenario (knob "E" standard) ~n:4 ~r:2. in
+  Alcotest.(check bool) (Printf.sprintf "E elasticity %.4f < 0.05" e) true
+    (e >= 0. && e < 0.05)
+
+let test_q_error_elasticity_is_one () =
+  (* E(n, r) ~ q pi_n for small q: elasticity of error w.r.t. q ~ 1 *)
+  let e = S.error_elasticity scenario (knob "q" standard) ~n:4 ~r:2. in
+  Alcotest.(check bool) (Printf.sprintf "q error-elasticity %.4f ~ 1" e) true
+    (Float.abs (e -. 1.) < 0.05)
+
+let test_c_error_elasticity_is_zero () =
+  (* Eq. 4 does not mention c at all *)
+  let e = S.error_elasticity scenario (knob "c" standard) ~n:4 ~r:2. in
+  Alcotest.(check (float 1e-9)) "exactly zero" 0. e
+
+let test_rtt_lambda_antisymmetric () =
+  (* for the shifted exponential, survival at the draft point depends on
+     lambda (t - d); at t - d = 1 = d the two elasticities mirror *)
+  let e_rtt = S.error_elasticity scenario (knob "rtt" delay_knobs) ~n:4 ~r:2. in
+  let e_lam = S.error_elasticity scenario (knob "lambda" delay_knobs) ~n:4 ~r:2. in
+  Alcotest.(check bool) "rtt raises error" true (e_rtt > 0.);
+  Alcotest.(check bool) "lambda lowers error" true (e_lam < 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "mirrored: %.3f vs %.3f" e_rtt e_lam)
+    true
+    (Float.abs (e_rtt +. e_lam) < 0.05 *. Float.abs e_rtt)
+
+let test_loss_error_elasticity_positive () =
+  let e = S.error_elasticity scenario (knob "loss" delay_knobs) ~n:4 ~r:2. in
+  Alcotest.(check bool) "more loss, more error" true (e > 0.)
+
+let test_tornado_sorted_and_consistent () =
+  let output p = Zeroconf.Cost.mean p ~n:4 ~r:2. in
+  let entries = S.tornado ~swing:2. ~output scenario (standard @ delay_knobs) in
+  Alcotest.(check int) "all knobs present" 6 (List.length entries);
+  (* sorted by descending range *)
+  let ranges =
+    List.map (fun (e : S.tornado_entry) -> Float.abs (e.S.high -. e.S.low)) entries
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (sorted ranges);
+  (* every base equals the unperturbed output *)
+  List.iter
+    (fun (e : S.tornado_entry) ->
+      Alcotest.(check bool) (e.S.knob_name ^ " base") true
+        (Numerics.Safe_float.approx_eq ~rtol:1e-12 e.S.base (output scenario)))
+    entries
+
+let test_tornado_rtt_dominates_at_fixed_point () =
+  (* at a FIXED (4, 2), doubling the round trip to d = 2 s pushes every
+     reply past the first listening period and the cost explodes: the
+     delay knobs must dominate the pure cost knobs *)
+  let output p = Zeroconf.Cost.mean p ~n:4 ~r:2. in
+  match S.tornado ~swing:2. ~output scenario (standard @ delay_knobs) with
+  | top :: _ -> Alcotest.(check string) "round trip first" "rtt" top.S.knob_name
+  | [] -> Alcotest.fail "empty tornado"
+
+let test_tornado_guard () =
+  Alcotest.check_raises "swing must exceed 1"
+    (Invalid_argument "Sensitivity.tornado: swing must exceed 1") (fun () ->
+      ignore (S.tornado ~swing:1. ~output:(fun _ -> 0.) scenario standard))
+
+let () =
+  Alcotest.run "sensitivity"
+    [ ( "knobs",
+        [ Alcotest.test_case "roundtrip" `Quick test_standard_knobs_roundtrip ] );
+      ( "cost elasticities",
+        [ Alcotest.test_case "postage" `Quick test_postage_elasticity_exact;
+          Alcotest.test_case "error cost" `Quick test_error_cost_elasticity_small ] );
+      ( "error elasticities",
+        [ Alcotest.test_case "q ~ 1" `Quick test_q_error_elasticity_is_one;
+          Alcotest.test_case "c = 0" `Quick test_c_error_elasticity_is_zero;
+          Alcotest.test_case "rtt vs lambda" `Quick test_rtt_lambda_antisymmetric;
+          Alcotest.test_case "loss positive" `Quick test_loss_error_elasticity_positive ] );
+      ( "tornado",
+        [ Alcotest.test_case "sorted/consistent" `Quick test_tornado_sorted_and_consistent;
+          Alcotest.test_case "rtt dominates" `Quick
+            test_tornado_rtt_dominates_at_fixed_point;
+          Alcotest.test_case "guard" `Quick test_tornado_guard ] ) ]

@@ -1,0 +1,91 @@
+module W = Netsim.Workload
+
+let one_way = Dist.Families.deterministic ~delay:0.01 ()
+
+let config =
+  { (Netsim.Newcomer.drm_config ~n:2 ~r:0.2 ~probe_cost:0. ~error_cost:0.) with
+    Netsim.Newcomer.immediate_abort = true }
+
+let run ?(pattern = W.Flash { count = 10; within = 1. }) ?(horizon = 10.)
+    ?(loss = 0.) ?(initial = 5) ?(pool = 64) ~seed () =
+  W.run ~pattern ~horizon ~loss ~one_way ~initial ~pool_size:pool ~config
+    ~rng:(Numerics.Rng.create seed) ()
+
+let test_flash_everyone_configures () =
+  let r = run ~seed:1 () in
+  Alcotest.(check int) "10 arrivals" 10 r.W.arrivals;
+  Alcotest.(check int) "10 completions" 10 (Array.length r.W.outcomes);
+  Alcotest.(check bool) "unique on a perfect link" true r.W.all_unique;
+  Alcotest.(check int) "no collisions" 0 r.W.collisions
+
+let test_flash_timing () =
+  let r = run ~seed:2 () in
+  (* every config takes at least n * r = 0.4 s; flash window is 1 s *)
+  Alcotest.(check bool) "mean at least n*r" true (r.W.mean_config_time >= 0.4 -. 1e-9);
+  Alcotest.(check bool) "last completion after the window start" true
+    (r.W.last_completion >= 0.4)
+
+let test_periodic_count () =
+  let r = run ~pattern:(W.Periodic 2.) ~horizon:10. ~seed:3 () in
+  Alcotest.(check int) "horizon/period arrivals" 5 r.W.arrivals
+
+let test_poisson_rate () =
+  let r = run ~pattern:(W.Poisson 2.) ~horizon:100. ~pool:512 ~seed:4 () in
+  (* ~200 expected; allow wide slack *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d arrivals near 200" r.W.arrivals)
+    true
+    (r.W.arrivals > 140 && r.W.arrivals < 260)
+
+let test_crowded_flash_still_unique_on_perfect_link () =
+  (* 30 newcomers into 32 free addresses: heavy contention, but a
+     loss-free link must keep every accepted address distinct *)
+  let r =
+    run ~pattern:(W.Flash { count = 30; within = 0.5 }) ~initial:2 ~pool:64
+      ~seed:5 ()
+  in
+  Alcotest.(check bool) "all unique" true r.W.all_unique;
+  Alcotest.(check int) "no collisions" 0 r.W.collisions
+
+let test_lossy_flash_collides_sometimes () =
+  let total = ref 0 in
+  for seed = 10 to 19 do
+    let r =
+      run ~pattern:(W.Flash { count = 20; within = 0.2 }) ~loss:0.9 ~initial:30
+        ~pool:64 ~seed ()
+    in
+    total := !total + r.W.collisions
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "collisions under heavy loss (%d)" !total)
+    true (!total > 0)
+
+let test_pool_exhaustion_guard () =
+  try
+    ignore (run ~pattern:(W.Flash { count = 100; within = 1. }) ~pool:64 ~seed:6 ());
+    Alcotest.fail "accepted a workload exceeding the pool"
+  with Failure _ -> ()
+
+let test_pattern_guards () =
+  List.iter
+    (fun pattern ->
+      try
+        ignore (run ~pattern ~seed:7 ());
+        Alcotest.fail "accepted an invalid pattern"
+      with Invalid_argument _ -> ())
+    [ W.Poisson 0.; W.Periodic 0.; W.Flash { count = -1; within = 1. } ]
+
+let () =
+  Alcotest.run "workload"
+    [ ( "patterns",
+        [ Alcotest.test_case "flash completes" `Quick test_flash_everyone_configures;
+          Alcotest.test_case "flash timing" `Quick test_flash_timing;
+          Alcotest.test_case "periodic count" `Quick test_periodic_count;
+          Alcotest.test_case "poisson rate" `Quick test_poisson_rate ] );
+      ( "contention",
+        [ Alcotest.test_case "crowded but perfect" `Quick
+            test_crowded_flash_still_unique_on_perfect_link;
+          Alcotest.test_case "lossy collides" `Quick test_lossy_flash_collides_sometimes ] );
+      ( "guards",
+        [ Alcotest.test_case "pool exhaustion" `Quick test_pool_exhaustion_guard;
+          Alcotest.test_case "pattern validation" `Quick test_pattern_guards ] ) ]
