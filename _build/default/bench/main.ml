@@ -526,13 +526,137 @@ let bench_tests =
              (stage (fun () ->
                   ignore (Dtmc.Sparse.jacobi_solve ~tol:1e-12 sparse b))) ]) ]
 
+(* ------------------------------------------------------------------ *)
+(* Serial-vs-parallel artifact pairs                                   *)
+
+(* The same artifact body run on a one-domain pool (the pre-parallel
+   code path, bit for bit) and on the default Exec pool.  [points] and
+   [trials] scale the work so the smoke target stays cheap. *)
+let serial_pool = Exec.Pool.create 1
+
+let artifact_specs ~points ~trials =
+  let grid = Numerics.Grid.linspace 0.05 6. points in
+  [ ( "fig2/cost-curves",
+      fun pool ->
+        for n = 1 to 8 do
+          ignore
+            (Exec.Parallel.map_sweep ~pool
+               (fun r -> Zeroconf.Cost.mean fig2_scenario ~n ~r)
+               grid)
+        done );
+    ( "fig3-4/optimal-n-sweep",
+      fun pool -> ignore (Zeroconf.Optimize.optimal_n_sweep ~pool fig2_scenario grid) );
+    ( "fig5/error-grid",
+      fun pool ->
+        for n = 1 to 8 do
+          ignore
+            (Exec.Parallel.map_sweep ~pool
+               (fun r ->
+                 Zeroconf.Reliability.log10_error_probability fig2_scenario ~n ~r)
+               grid)
+        done );
+    ( "fig6/error-envelope",
+      fun pool ->
+        ignore
+          (Exec.Parallel.map_sweep ~pool
+             (fun r -> Zeroconf.Optimize.error_under_optimal_n fig2_scenario ~r)
+             grid) );
+    ( "landscape/cost-surface",
+      fun pool ->
+        ignore
+          (Exec.Parallel.init ~pool (10 * points) (fun k ->
+               let n = (k / points) + 1 and r = grid.(k mod points) in
+               log10 (Zeroconf.Cost.mean fig2_scenario ~n ~r))) );
+    ( "netsim/multi-trials",
+      fun pool ->
+        let rng = Numerics.Rng.create 17 in
+        let config =
+          Netsim.Newcomer.drm_config ~n:3 ~r:0.3 ~probe_cost:0. ~error_cost:0.
+        in
+        ignore
+          (Netsim.Multi.run_trials ~domains:pool ~loss:0.1
+             ~one_way:(Dist.Families.uniform ~lo:0.005 ~hi:0.05 ())
+             ~occupied:8 ~pool_size:32 ~newcomers:4 ~config ~trials ~rng ()) ) ]
+
+let parallel_pair_tests () =
+  let stage = Staged.stage in
+  let pool = Exec.Pool.get () in
+  let jobs = Exec.Pool.size pool in
+  Test.make_grouped ~name:"parallel"
+    (List.concat_map
+       (fun (name, body) ->
+         [ Test.make ~name:(name ^ "/serial") (stage (fun () -> body serial_pool));
+           Test.make
+             ~name:(Printf.sprintf "%s/jobs-%d" name jobs)
+             (stage (fun () -> body pool)) ])
+       (artifact_specs ~points:48 ~trials:16))
+
+let wall_time body =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    body ();
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let write_parallel_json path =
+  let pool = Exec.Pool.get () in
+  let jobs = Exec.Pool.size pool in
+  section (Printf.sprintf "Wall-clock serial vs parallel (jobs = %d)" jobs);
+  let rows =
+    List.map
+      (fun (name, body) ->
+        body pool (* warm call: spawns the worker domains once *);
+        let serial_s = wall_time (fun () -> body serial_pool) in
+        let parallel_s = wall_time (fun () -> body pool) in
+        Printf.printf "  %-24s serial %8.4f s   parallel %8.4f s   speedup %.2fx\n%!"
+          name serial_s parallel_s (serial_s /. parallel_s);
+        (name, serial_s, parallel_s))
+      (artifact_specs ~points:400 ~trials:200)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"artifacts\": [\n" jobs;
+  List.iteri
+    (fun i (name, serial_s, parallel_s) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"serial_s\": %.6f, \"parallel_s\": %.6f, \
+         \"speedup\": %.4f }%s\n"
+        name serial_s parallel_s
+        (serial_s /. parallel_s)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let smoke () =
+  (* force a genuinely multi-domain pool even on a 1-core host *)
+  let pool2 = Exec.Pool.create 2 in
+  List.iter
+    (fun (name, body) ->
+      body serial_pool;
+      body pool2;
+      Printf.printf "smoke ok: %s\n" name)
+    (artifact_specs ~points:8 ~trials:3);
+  let grid = Numerics.Grid.linspace 0.05 6. 8 in
+  let serial = Zeroconf.Optimize.optimal_n_sweep ~pool:serial_pool fig2_scenario grid in
+  let parallel = Zeroconf.Optimize.optimal_n_sweep ~pool:pool2 fig2_scenario grid in
+  assert (serial = parallel);
+  Exec.Pool.shutdown pool2;
+  print_endline "smoke ok: parallel sweep bit-identical to serial"
+
 let run_benchmarks () =
   section "Bechamel timings (per run, OLS estimate)";
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~stabilize:true
       ~compaction:false ()
   in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] bench_tests in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"" [ bench_tests; parallel_pair_tests () ])
+  in
   let ols =
     Analyze.all
       (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
@@ -568,7 +692,25 @@ let run_benchmarks () =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let skip_timing = List.mem "--no-timing" args in
-  let skip_repro = List.mem "--no-repro" args in
-  if not skip_repro then reproduce_all ();
-  if not skip_timing then run_benchmarks ()
+  let rec jobs_of = function
+    | "--jobs" :: value :: _ -> int_of_string_opt value
+    | _ :: rest -> jobs_of rest
+    | [] -> None
+  in
+  (match jobs_of args with Some jobs -> Exec.Pool.set_jobs jobs | None -> ());
+  let rec json_of = function
+    | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
+        Some next
+    | "--json" :: _ -> Some "BENCH_parallel.json"
+    | _ :: rest -> json_of rest
+    | [] -> None
+  in
+  if List.mem "--smoke" args then smoke ()
+  else
+    match json_of args with
+    | Some path -> write_parallel_json path
+    | None ->
+        let skip_timing = List.mem "--no-timing" args in
+        let skip_repro = List.mem "--no-repro" args in
+        if not skip_repro then reproduce_all ();
+        if not skip_timing then run_benchmarks ()

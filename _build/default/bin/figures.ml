@@ -60,29 +60,49 @@ let render_figure ~out_dir (fig : Zeroconf.Experiments.figure) =
 
 (* bonus: the (n, r) cost landscape as a heatmap (log10 of Eq. 3) *)
 let render_landscape ~out_dir =
-  let scenario = Zeroconf.Params.figure2 in
-  let rs = Numerics.Grid.linspace 0.25 6. 24 in
-  let ns = Array.init 10 (fun i -> i + 1) in
-  let values =
-    Array.map
-      (fun n -> Array.map (fun r -> log10 (Zeroconf.Cost.mean scenario ~n ~r)) rs)
-      ns
-  in
+  let surface = Zeroconf.Experiments.cost_landscape () in
   let heatmap =
     { Output.Heatmap.title = "log10 C(n, r) landscape (figure2 scenario)";
       x_label = "r (s)";
       y_label = "n";
-      x_ticks = Array.map (Printf.sprintf "%.2g") rs;
-      y_ticks = Array.map string_of_int ns;
-      values }
+      x_ticks = Array.map (Printf.sprintf "%.2g") surface.Zeroconf.Experiments.rs;
+      y_ticks = Array.map string_of_int surface.Zeroconf.Experiments.ns;
+      values = surface.Zeroconf.Experiments.log10_cost }
   in
   let path = Filename.concat out_dir "cost_landscape.svg" in
   Output.Heatmap.save heatmap path;
   Printf.printf "wrote %s\n" path
 
+let generate out_dir jobs =
+  match jobs with
+  | Some j when j < 1 ->
+      `Error
+        (false, Printf.sprintf "option '--jobs': %d is not a positive integer" j)
+  | _ ->
+      (match jobs with
+      | Some j -> Exec.Pool.set_jobs j
+      | None -> if Sys.getenv_opt "ZEROCONF_JOBS" = None then Exec.Pool.set_jobs 1);
+      ensure_dir out_dir;
+      List.iter (render_figure ~out_dir) (Zeroconf.Experiments.all_figures ());
+      List.iter (render_figure ~out_dir) (Zeroconf.Experiments.extension_figures ());
+      render_landscape ~out_dir;
+      `Ok ()
+
 let () =
-  let out_dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "out" in
-  ensure_dir out_dir;
-  List.iter (render_figure ~out_dir) (Zeroconf.Experiments.all_figures ());
-  List.iter (render_figure ~out_dir) (Zeroconf.Experiments.extension_figures ());
-  render_landscape ~out_dir
+  let open Cmdliner in
+  let out_dir =
+    Arg.(value & pos 0 string "out"
+         & info [] ~docv:"OUT_DIR" ~doc:"Directory to write SVG/CSV into.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for the figure sweeps (default: \
+                   $(b,ZEROCONF_JOBS) if set, else 1).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "figures" ~doc:"Regenerate every figure of the paper into OUT_DIR.")
+      Term.(ret (const generate $ out_dir $ jobs))
+  in
+  exit (Cmd.eval cmd)

@@ -6,6 +6,26 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Scenario construction from flags                                    *)
 
+(* Worker-domain count for the parallel sweeps.  Folded into
+   [scenario_term] so every subcommand accepts it; the default pins
+   jobs = 1 (serial) unless ZEROCONF_JOBS is set, keeping the golden
+   CLI outputs byte-identical — parallel results are bit-identical
+   anyway, this just avoids spawning domains nobody asked for. *)
+let jobs_term =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for parallel sweeps (default: \
+                 $(b,ZEROCONF_JOBS) if set, else 1).")
+
+let apply_jobs = function
+  | Some jobs -> Exec.Pool.set_jobs jobs
+  | None -> if Sys.getenv_opt "ZEROCONF_JOBS" = None then Exec.Pool.set_jobs 1
+
+let check_jobs = function
+  | Some jobs when jobs < 1 ->
+      Some (Printf.sprintf "option '--jobs': %d is not a positive integer" jobs)
+  | _ -> None
+
 let scenario_term =
   let preset =
     let doc =
@@ -38,7 +58,11 @@ let scenario_term =
     Arg.(value & opt (some float) None
          & info [ "error-cost"; "E" ] ~docv:"E" ~doc:"Cost of an accepted address collision.")
   in
-  let build preset loss rate rtt hosts probe_cost error_cost =
+  let build jobs preset loss rate rtt hosts probe_cost error_cost =
+    match check_jobs jobs with
+    | Some msg -> `Error (false, msg)
+    | None ->
+    apply_jobs jobs;
     match List.assoc_opt preset Zeroconf.Params.presets with
     | None ->
         `Error
@@ -68,7 +92,8 @@ let scenario_term =
         in
         `Ok p
   in
-  Term.(ret (const build $ preset $ loss $ rate $ rtt $ hosts $ probe_cost $ error_cost))
+  Term.(ret (const build $ jobs_term $ preset $ loss $ rate $ rtt $ hosts
+             $ probe_cost $ error_cost))
 
 let n_term =
   Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of ARP probes.")

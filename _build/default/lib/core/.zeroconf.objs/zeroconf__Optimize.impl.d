@@ -1,1 +1,1 @@
-lib/core/optimize.ml: Cost Dist Float Numerics Params Probes Reliability
+lib/core/optimize.ml: Array Cost Dist Exec Float Numerics Params Probes Reliability

@@ -1,1 +1,1 @@
-lib/core/optimize.mli: Numerics Params
+lib/core/optimize.mli: Exec Numerics Params

@@ -14,9 +14,14 @@ type figure = {
 let default_scenario () = Params.figure2
 let r_grid ~points ~lo ~hi = Numerics.Grid.linspace lo hi points
 
+(* Every figure below is a sweep of independent per-point evaluations,
+   so the grids run through Exec.Parallel on the default domain pool
+   (serial when jobs = 1); outputs are bit-identical at any job count. *)
+let sweep f grid = Exec.Parallel.map_sweep f grid
+
 let cost_series p ~n grid =
   { label = Printf.sprintf "C_%d" n;
-    points = Array.map (fun r -> (r, Cost.mean p ~n ~r)) grid }
+    points = sweep (fun r -> Cost.mean p ~n ~r) grid }
 
 let figure2 ?scenario ?(points = 400) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -45,8 +50,8 @@ let figure3 ?scenario ?(points = 600) () =
       [ { label = "N(r)";
           points =
             Array.map
-              (fun r -> (r, float_of_int (fst (Optimize.optimal_n p ~r))))
-              grid } ] }
+              (fun (r, (n, _)) -> (r, float_of_int n))
+              (Optimize.optimal_n_sweep p grid) } ] }
 
 let figure4 ?scenario ?(points = 600) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -58,14 +63,11 @@ let figure4 ?scenario ?(points = 600) () =
     log_y = false;
     y_min = Some 0.;
     y_max = Some 100.;
-    series =
-      [ { label = "C_min";
-          points = Array.map (fun r -> (r, Optimize.min_cost p ~r)) grid } ] }
+    series = [ { label = "C_min"; points = Optimize.lower_envelope p grid } ] }
 
 let error_series p ~n grid =
   { label = Printf.sprintf "E(%d, r)" n;
-    points =
-      Array.map (fun r -> (r, Reliability.log10_error_probability p ~n ~r)) grid }
+    points = sweep (fun r -> Reliability.log10_error_probability p ~n ~r) grid }
 
 let figure5 ?scenario ?(points = 400) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -86,10 +88,10 @@ let figure6 ?scenario ?(points = 400) () =
   let envelope =
     { label = "E(N(r), r)";
       points =
-        Array.map
+        sweep
           (fun r ->
             let n, _ = Optimize.optimal_n p ~r in
-            (r, Reliability.log10_error_probability p ~n ~r))
+            Reliability.log10_error_probability p ~n ~r)
           grid }
   in
   { base with
@@ -99,6 +101,30 @@ let figure6 ?scenario ?(points = 400) () =
 
 let all_figures () =
   [ figure2 (); figure3 (); figure4 (); figure5 (); figure6 () ]
+
+type landscape = {
+  ns : int array;
+  rs : float array;
+  log10_cost : float array array;
+}
+
+let cost_landscape ?scenario ?(n_max = 10) ?(r_points = 24) ?(r_lo = 0.25)
+    ?(r_hi = 6.) () =
+  if n_max < 1 then invalid_arg "Experiments.cost_landscape: n_max < 1";
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let ns = Array.init n_max (fun i -> i + 1) in
+  let rs = r_grid ~points:r_points ~lo:r_lo ~hi:r_hi in
+  (* flatten the (n, r) product so the pool balances across the whole
+     surface, not just within one row *)
+  let flat =
+    Exec.Parallel.init (n_max * r_points) (fun k ->
+        let n = ns.(k / r_points) and r = rs.(k mod r_points) in
+        log10 (Cost.mean p ~n ~r))
+  in
+  { ns;
+    rs;
+    log10_cost =
+      Array.init n_max (fun i -> Array.sub flat (i * r_points) r_points) }
 
 let latency_figure ?scenario () =
   let p = Option.value ~default:(default_scenario ()) scenario in

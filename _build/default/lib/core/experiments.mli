@@ -37,6 +37,19 @@ val figure6 : ?scenario:Params.t -> ?points:int -> unit -> figure
 val all_figures : unit -> figure list
 (** Figures 2–6, in order. *)
 
+type landscape = {
+  ns : int array;               (** Row labels: probe counts. *)
+  rs : float array;             (** Column labels: listening periods. *)
+  log10_cost : float array array;  (** [log10 C(n, r)] per (row, col). *)
+}
+
+val cost_landscape :
+  ?scenario:Params.t -> ?n_max:int -> ?r_points:int -> ?r_lo:float ->
+  ?r_hi:float -> unit -> landscape
+(** The [(n, r)] cost surface behind the figure generator's heatmap
+    (defaults: [n = 1..10], 24 points of [r] in [0.25, 6]), evaluated
+    in parallel over the flattened grid. *)
+
 val latency_figure : ?scenario:Params.t -> unit -> figure
 (** Extension figure: configuration-time CDFs for the draft's [(4, 2)],
     the scenario's cost optimum, and a fast [(8, r_opt(8))] design. *)

@@ -61,6 +61,17 @@ let optimal_n ?(n_max = 4096) ?(patience = 24) (p : Params.t) ~r =
 
 let min_cost ?n_max ?patience p ~r = snd (optimal_n ?n_max ?patience p ~r)
 
+(* Grid sweeps of the step function and its envelope: every point is an
+   independent scan over n, so they fan out across the Exec domains.
+   Slot-indexed writes keep the output bit-identical at any job count. *)
+let optimal_n_sweep ?pool ?n_max ?patience (p : Params.t) grid =
+  Exec.Parallel.map_sweep ?pool (fun r -> optimal_n ?n_max ?patience p ~r) grid
+
+let lower_envelope ?pool ?n_max ?patience (p : Params.t) grid =
+  Array.map
+    (fun (r, (_, cost)) -> (r, cost))
+    (optimal_n_sweep ?pool ?n_max ?patience p grid)
+
 let error_under_optimal_n ?n_max (p : Params.t) ~r =
   let n, _ = optimal_n ?n_max p ~r in
   Reliability.error_probability p ~n ~r

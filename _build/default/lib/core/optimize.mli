@@ -36,6 +36,20 @@ val optimal_n : ?n_max:int -> ?patience:int -> Params.t -> r:float -> int * floa
 val min_cost : ?n_max:int -> ?patience:int -> Params.t -> r:float -> float
 (** [C_min(r) = C(N(r), r)]. *)
 
+val optimal_n_sweep :
+  ?pool:Exec.Pool.t -> ?n_max:int -> ?patience:int -> Params.t ->
+  float array -> (float * (int * float)) array
+(** {!optimal_n} at every grid point — the step function [N(r)] paired
+    with [C_min(r)] — evaluated in parallel on the [Exec] domain pool
+    (the default pool unless [pool] is given).  Bit-identical to the
+    pointwise serial calls at any job count. *)
+
+val lower_envelope :
+  ?pool:Exec.Pool.t -> ?n_max:int -> ?patience:int -> Params.t ->
+  float array -> (float * float) array
+(** The Figure-4 envelope [C_min(r)] over a grid, via
+    {!optimal_n_sweep}. *)
+
 val error_under_optimal_n : ?n_max:int -> Params.t -> r:float -> float
 (** [E(N(r), r)]: the sawtoothed error probability of Figure 6. *)
 

@@ -25,29 +25,39 @@ let no_answer_literal (p : Params.t) ~i ~r =
   done;
   !acc
 
+(* The loops below inline [no_answer] with the survival closure and
+   [s 0.] hoisted: both are loop-invariant, and [s 0.] in particular
+   re-evaluates the distribution's CDF at every call. *)
 let pi_all (p : Params.t) ~n ~r =
   check_args "Probes.pi_all" n r;
+  let s = p.delay.survival in
+  let s0 = s 0. in
   let out = Array.make (n + 1) 1. in
   for i = 1 to n do
-    out.(i) <- out.(i - 1) *. no_answer p ~i ~r
+    let ratio = if s0 <= 0. then 0. else s (float_of_int i *. r) /. s0 in
+    out.(i) <- out.(i - 1) *. ratio
   done;
   out
 
-let pi p ~n ~r =
+let pi (p : Params.t) ~n ~r =
   check_args "Probes.pi" n r;
+  let s = p.delay.survival in
+  let s0 = s 0. in
   let acc = ref 1. in
   for i = 1 to n do
-    acc := !acc *. no_answer p ~i ~r
+    let ratio = if s0 <= 0. then 0. else s (float_of_int i *. r) /. s0 in
+    acc := !acc *. ratio
   done;
   !acc
 
 let log_pi (p : Params.t) ~n ~r =
   check_args "Probes.log_pi" n r;
   let s = p.delay.survival in
+  let s0 = s 0. in
   let acc = ref 0. in
   for i = 1 to n do
     (* log p_i = log S(ir) - log S(0); S(0) = 1 for delay >= 0 *)
-    let si = s (float_of_int i *. r) /. s 0. in
+    let si = s (float_of_int i *. r) /. s0 in
     acc := !acc +. (if si <= 0. then neg_infinity else log si)
   done;
   !acc

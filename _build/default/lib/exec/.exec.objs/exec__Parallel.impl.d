@@ -1,0 +1,1 @@
+lib/exec/parallel.ml: Array Fun Numerics Pool

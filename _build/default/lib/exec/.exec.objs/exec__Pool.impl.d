@@ -1,0 +1,1 @@
+lib/exec/pool.ml: Array Condition Domain List Mutex Option Printexc Queue Stdlib String Sys

@@ -1,0 +1,42 @@
+let resolve = function Some pool -> pool | None -> Pool.get ()
+
+(* About four chunks per worker: coarse enough to amortize queueing,
+   fine enough to balance sweeps whose per-point cost varies (e.g.
+   Optimize.optimal_n is much dearer at small r). *)
+let chunk_count pool n = min n (4 * Pool.size pool)
+
+let init ?pool n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  let pool = resolve pool in
+  if Pool.size pool = 1 || n < 2 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let indices = Array.init n Fun.id in
+    let tasks =
+      Array.map
+        (fun chunk () -> Array.iter (fun i -> results.(i) <- Some (f i)) chunk)
+        (Numerics.Grid.chunks (chunk_count pool n) indices)
+    in
+    Pool.run pool tasks;
+    Array.map
+      (function Some value -> value | None -> assert false (* all slots filled *))
+      results
+  end
+
+let map ?pool f xs = init ?pool (Array.length xs) (fun i -> f xs.(i))
+
+let map_sweep ?pool f xs =
+  init ?pool (Array.length xs) (fun i ->
+      let x = xs.(i) in
+      (x, f x))
+
+let iter_chunks ?pool f xs =
+  let pool = resolve pool in
+  let n = Array.length xs in
+  if n = 0 then ()
+  else if Pool.size pool = 1 || n = 1 then f xs
+  else
+    Pool.run pool
+      (Array.map
+         (fun chunk () -> f chunk)
+         (Numerics.Grid.chunks (chunk_count pool n) xs))

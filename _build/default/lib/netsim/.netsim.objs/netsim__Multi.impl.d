@@ -1,1 +1,1 @@
-lib/netsim/multi.ml: Address_pool Array Engine Float Host Int Link List Metrics Newcomer Set
+lib/netsim/multi.ml: Address_pool Array Engine Exec Float Host Int Link List Metrics Newcomer Numerics Set

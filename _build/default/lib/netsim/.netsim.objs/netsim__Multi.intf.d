@@ -1,1 +1,1 @@
-lib/netsim/multi.mli: Dist Metrics Newcomer Numerics
+lib/netsim/multi.mli: Dist Exec Metrics Newcomer Numerics

@@ -55,18 +55,28 @@ let run ~loss ~one_way ?processing ~occupied ?pool_size ~newcomers
         (fun acc (o : Metrics.outcome) -> Float.max acc o.Metrics.config_time)
         0. outcomes }
 
-let collision_rate_vs_newcomers ~loss ~one_way ~occupied ?pool_size ~config
-    ~trials ~counts ~rng () =
+let run_trials ?domains ~loss ~one_way ?processing ~occupied ?pool_size
+    ~newcomers ?spacing ~config ~trials ~rng () =
+  if trials < 1 then invalid_arg "Multi.run_trials: trials < 1";
+  (* One generator per replication, split from the root *serially* so
+     the streams — and hence every statistic — are identical whatever
+     the job count of the pool that then runs them. *)
+  let rngs = Array.init trials (fun _ -> Numerics.Rng.split rng) in
+  Exec.Parallel.init ?pool:domains trials (fun i ->
+      run ~loss ~one_way ?processing ~occupied ?pool_size ~newcomers ?spacing
+        ~config ~rng:rngs.(i) ())
+
+let collision_rate_vs_newcomers ?domains ~loss ~one_way ~occupied ?pool_size
+    ~config ~trials ~counts ~rng () =
   if trials < 1 then invalid_arg "Multi.collision_rate_vs_newcomers: trials < 1";
   List.map
     (fun count ->
-      let collided = ref 0 and total = ref 0 in
-      for _ = 1 to trials do
-        let r =
-          run ~loss ~one_way ~occupied ?pool_size ~newcomers:count ~config ~rng ()
-        in
-        collided := !collided + r.collisions;
-        total := !total + count
-      done;
-      (count, float_of_int !collided /. float_of_int !total))
+      let results =
+        run_trials ?domains ~loss ~one_way ~occupied ?pool_size
+          ~newcomers:count ~config ~trials ~rng ()
+      in
+      let collided =
+        Array.fold_left (fun acc r -> acc + r.collisions) 0 results
+      in
+      (count, float_of_int collided /. float_of_int (trials * count)))
     counts

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Dist Exec Fun List Netsim Numerics Printf Zeroconf

@@ -25,9 +25,21 @@ val run :
     a responder itself, defending its new address against later
     arrivals. *)
 
+val run_trials :
+  ?domains:Exec.Pool.t -> loss:float -> one_way:Dist.Distribution.t ->
+  ?processing:Dist.Distribution.t -> occupied:int -> ?pool_size:int ->
+  newcomers:int -> ?spacing:float -> config:Newcomer.config ->
+  trials:int -> rng:Numerics.Rng.t -> unit -> result array
+(** [trials] independent replications of {!run}, fanned out across the
+    [Exec] domain pool ([domains], defaulting to the process-wide
+    pool).  Each replication gets its own generator split from [rng]
+    in trial order before any work starts, so the result array is
+    bit-identical at every job count (and to the serial run). *)
+
 val collision_rate_vs_newcomers :
-  loss:float -> one_way:Dist.Distribution.t -> occupied:int ->
-  ?pool_size:int -> config:Newcomer.config -> trials:int ->
+  ?domains:Exec.Pool.t -> loss:float -> one_way:Dist.Distribution.t ->
+  occupied:int -> ?pool_size:int -> config:Newcomer.config -> trials:int ->
   counts:int list -> rng:Numerics.Rng.t -> unit -> (int * float) list
 (** Sweep the number of simultaneous newcomers and estimate the
-    per-newcomer collision probability for each count. *)
+    per-newcomer collision probability for each count; replications run
+    through {!run_trials}. *)
