@@ -368,6 +368,37 @@ let reproduce_all () =
 
 let r_grid = Numerics.Grid.linspace 0.05 6. 48
 
+(* The pre-kernel [Optimize.optimal_n], verbatim: a point-wise
+   [Cost.mean] rebuild per candidate n.  Kept here as the baseline the
+   incremental kernel is benchmarked (and smoke-checked) against. *)
+let optimal_n_direct ?(n_max = 4096) ?(patience = 24) (p : Zeroconf.Params.t) ~r =
+  if r < 0. then invalid_arg "optimal_n_direct: negative r";
+  let first_useful =
+    let rec find i =
+      if i > n_max then n_max
+      else if Zeroconf.Probes.no_answer p ~i ~r < 1. then i
+      else find (i + 1)
+    in
+    if r = 0. then n_max else find 1
+  in
+  let best_n = ref 1 and best_cost = ref (Zeroconf.Cost.mean p ~n:1 ~r) in
+  let misses = ref 0 in
+  let n = ref (max 1 first_useful) in
+  while !misses < patience && !n <= n_max do
+    let c = Zeroconf.Cost.mean p ~n:!n ~r in
+    if c < !best_cost then begin
+      best_n := !n;
+      best_cost := c;
+      misses := 0
+    end else incr misses;
+    incr n
+  done;
+  (!best_n, !best_cost)
+
+(* a power-of-two lattice grid r = k/32 keeps the kernel's
+   survival-memo abscissae i * r exactly coincident across grid points *)
+let kernel_grid = Array.init 96 (fun k -> float_of_int (k + 1) /. 32.)
+
 let bench_tests =
   let stage = Staged.stage in
   Test.make_grouped ~name:"zeroconf"
@@ -451,6 +482,28 @@ let bench_tests =
                    ignore (Zeroconf.Probes.no_answer fig2_scenario ~i ~r)
                  done)
                r_grid));
+      (* incremental kernel vs direct point-wise rebuild: the same
+         n-scan artifacts, streamed and not *)
+      Test.make ~name:"kernel/optimal-n-direct"
+        (stage (fun () ->
+             Array.iter
+               (fun r -> ignore (optimal_n_direct fig2_scenario ~r))
+               kernel_grid));
+      Test.make ~name:"kernel/optimal-n-kernel"
+        (stage (fun () ->
+             Array.iter
+               (fun r -> ignore (Zeroconf.Optimize.optimal_n fig2_scenario ~r))
+               kernel_grid));
+      Test.make ~name:"kernel/cost-sweep-direct"
+        (stage (fun () ->
+             Array.iter
+               (fun r -> ignore (Zeroconf.Cost.mean fig2_scenario ~n:32 ~r))
+               kernel_grid));
+      Test.make ~name:"kernel/cost-sweep-kernel"
+        (stage (fun () ->
+             Array.iter
+               (fun r -> ignore (Zeroconf.Kernel.cost_at fig2_scenario ~n:32 ~r))
+               kernel_grid));
       (* ablation A1b: float vs log-space cost evaluation *)
       Test.make ~name:"ablate/cost-float"
         (stage (fun () ->
@@ -630,6 +683,73 @@ let write_parallel_json path =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Kernel-vs-direct artifact pairs                                     *)
+
+(* The n-scan artifacts evaluated both ways: the streaming kernel
+   (what the library now runs) against the pre-kernel point-wise
+   rebuild above.  [scale] divides the grid sizes so the smoke target
+   stays cheap; the wall-clock run uses scale 1, where the dense
+   envelope scans toward n_max = 4096 at the small-r end. *)
+let kernel_specs ~scale =
+  let lattice denom points =
+    Array.init (max 1 (points / scale)) (fun k -> float_of_int (k + 1) /. denom)
+  in
+  (* r down to 1/4096: the first useful probe count reaches n_max *)
+  let dense = lattice 4096. 512 in
+  let sweep_grid = Numerics.Grid.linspace 0.05 6. (max 2 (400 / scale)) in
+  [ ( "optimal-n/dense-4096",
+      (fun () ->
+        Array.iter (fun r -> ignore (optimal_n_direct fig2_scenario ~r)) dense),
+      fun () ->
+        Array.iter
+          (fun r -> ignore (Zeroconf.Optimize.optimal_n fig2_scenario ~r))
+          dense );
+    ( "lower-envelope/dense-4096",
+      (fun () ->
+        ignore (Array.map (fun r -> (r, snd (optimal_n_direct fig2_scenario ~r))) dense)),
+      fun () ->
+        ignore (Zeroconf.Optimize.lower_envelope ~pool:serial_pool fig2_scenario dense)
+    );
+    ( "fig3-4/optimal-n-sweep",
+      (fun () ->
+        ignore
+          (Exec.Parallel.map_sweep ~pool:serial_pool
+             (fun r -> optimal_n_direct fig2_scenario ~r)
+             sweep_grid)),
+      fun () ->
+        ignore
+          (Zeroconf.Optimize.optimal_n_sweep ~pool:serial_pool fig2_scenario
+             sweep_grid) ) ]
+
+let write_kernel_json path =
+  section "Wall-clock kernel vs direct point-wise rebuild (serial)";
+  let rows =
+    List.map
+      (fun (name, direct, kernel) ->
+        kernel () (* warm call: populates the per-domain survival memo *);
+        let direct_s = wall_time direct in
+        let kernel_s = wall_time kernel in
+        Printf.printf "  %-26s direct %8.4f s   kernel %8.4f s   speedup %.1fx\n%!"
+          name direct_s kernel_s (direct_s /. kernel_s);
+        (name, direct_s, kernel_s))
+      (kernel_specs ~scale:1)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"n_max\": 4096,\n  \"artifacts\": [\n";
+  List.iteri
+    (fun i (name, direct_s, kernel_s) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"direct_s\": %.6f, \"kernel_s\": %.6f, \
+         \"speedup\": %.4f }%s\n"
+        name direct_s kernel_s
+        (direct_s /. kernel_s)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let smoke () =
   (* force a genuinely multi-domain pool even on a 1-core host *)
   let pool2 = Exec.Pool.create 2 in
@@ -644,7 +764,29 @@ let smoke () =
   let parallel = Zeroconf.Optimize.optimal_n_sweep ~pool:pool2 fig2_scenario grid in
   assert (serial = parallel);
   Exec.Pool.shutdown pool2;
-  print_endline "smoke ok: parallel sweep bit-identical to serial"
+  print_endline "smoke ok: parallel sweep bit-identical to serial";
+  (* kernel/direct agreement: the streaming scan must reproduce the
+     point-wise rebuild bit for bit on every pair artifact *)
+  List.iter
+    (fun (name, _direct, kernel) ->
+      kernel ();
+      Printf.printf "smoke ok: %s (kernel)\n" name)
+    (kernel_specs ~scale:64);
+  Array.iter
+    (fun r ->
+      assert (optimal_n_direct fig2_scenario ~r
+              = Zeroconf.Optimize.optimal_n fig2_scenario ~r))
+    (Numerics.Grid.linspace 0.02 6. 16);
+  List.iter
+    (fun (n, r) ->
+      assert (Zeroconf.Kernel.cost_at fig2_scenario ~n ~r
+              = Zeroconf.Cost.mean fig2_scenario ~n ~r);
+      assert (Zeroconf.Kernel.error_probability_at fig2_scenario ~n ~r
+              = Zeroconf.Reliability.error_probability fig2_scenario ~n ~r);
+      assert (Zeroconf.Kernel.log10_error_at fig2_scenario ~n ~r
+              = Zeroconf.Reliability.log10_error_probability fig2_scenario ~n ~r))
+    [ (1, 0.3); (4, 2.); (8, 0.7); (64, 1.1); (512, 0.05) ];
+  print_endline "smoke ok: kernel scans bit-identical to direct evaluation"
 
 let run_benchmarks () =
   section "Bechamel timings (per run, OLS estimate)";
@@ -708,7 +850,9 @@ let () =
   if List.mem "--smoke" args then smoke ()
   else
     match json_of args with
-    | Some path -> write_parallel_json path
+    | Some path ->
+        write_parallel_json path;
+        write_kernel_json "BENCH_kernel.json"
     | None ->
         let skip_timing = List.mem "--no-timing" args in
         let skip_repro = List.mem "--no-repro" args in

@@ -1,1 +1,1 @@
-lib/core/cost.ml: Array List Numerics Params Probes
+lib/core/cost.ml: Array Numerics Params Probes

@@ -1,1 +1,1 @@
-lib/core/experiments.ml: Array Assessment Calibrate Cost Dist Drm Dtmc Exec Latency List Numerics Optimize Option Params Printf Reliability Tradeoff
+lib/core/experiments.ml: Array Assessment Calibrate Cost Dist Drm Dtmc Exec Kernel Latency List Numerics Optimize Option Params Printf Reliability Tradeoff

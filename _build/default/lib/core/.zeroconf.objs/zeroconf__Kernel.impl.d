@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Dist Domain Float Hashtbl List Numerics Params

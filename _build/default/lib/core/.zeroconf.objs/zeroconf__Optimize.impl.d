@@ -1,1 +1,1 @@
-lib/core/optimize.ml: Array Cost Dist Exec Float Numerics Params Probes Reliability
+lib/core/optimize.ml: Array Dist Exec Float Kernel Numerics Params

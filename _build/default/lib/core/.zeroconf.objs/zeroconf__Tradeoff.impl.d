@@ -1,1 +1,1 @@
-lib/core/tradeoff.ml: Array Cost Float List Numerics Params Reliability
+lib/core/tradeoff.ml: Array Float Kernel List Numerics Params

@@ -6,7 +6,7 @@ let mean (p : Params.t) ~n ~r =
   check "Cost.mean" n r;
   let pis = Probes.pi_all p ~n ~r in
   let sum_pi =
-    Numerics.Safe_float.sum (Array.sub pis 0 n) (* pi_0 .. pi_{n-1} *)
+    Numerics.Safe_float.sum_prefix pis n (* pi_0 .. pi_{n-1}, no copy *)
   in
   let pi_n = pis.(n) in
   let numerator =
@@ -21,16 +21,20 @@ let mean_log (p : Params.t) ~n ~r =
   let module L = Numerics.Logspace in
   let q = L.of_float p.q in
   let one_minus_q = L.of_float (1. -. p.q) in
-  (* pi_i in log space, using the same telescoped survival ratios *)
-  let log_pis = Array.make (n + 1) 0. in
+  (* pi_i in log space, using the same telescoped survival ratios; the
+     survival closure and S(0) are loop-invariant, and the prefix sum
+     accumulates in place in the fold order of [L.sum] *)
+  let s = p.delay.survival in
+  let s0 = s 0. in
+  let log_pi = ref 0. in
+  let sum_acc = ref L.zero in
   for i = 1 to n do
-    let s = p.delay.survival in
-    let ratio = s (float_of_int i *. r) /. s 0. in
-    log_pis.(i) <-
-      log_pis.(i - 1) +. (if ratio <= 0. then neg_infinity else log ratio)
+    sum_acc := L.add !sum_acc (L.of_log !log_pi);
+    let ratio = s (float_of_int i *. r) /. s0 in
+    log_pi := !log_pi +. (if ratio <= 0. then neg_infinity else log ratio)
   done;
-  let pi_n = L.of_log log_pis.(n) in
-  let sum_pi = L.sum (List.init n (fun i -> L.of_log log_pis.(i))) in
+  let pi_n = L.of_log !log_pi in
+  let sum_pi = !sum_acc in
   let r_plus_c = L.of_float (r +. p.probe_cost) in
   let n_term = L.mul (L.of_float (float_of_int n)) one_minus_q in
   let numerator =

@@ -21,7 +21,7 @@ let sweep f grid = Exec.Parallel.map_sweep f grid
 
 let cost_series p ~n grid =
   { label = Printf.sprintf "C_%d" n;
-    points = sweep (fun r -> Cost.mean p ~n ~r) grid }
+    points = sweep (fun r -> Kernel.cost_at p ~n ~r) grid }
 
 let figure2 ?scenario ?(points = 400) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -67,7 +67,7 @@ let figure4 ?scenario ?(points = 600) () =
 
 let error_series p ~n grid =
   { label = Printf.sprintf "E(%d, r)" n;
-    points = sweep (fun r -> Reliability.log10_error_probability p ~n ~r) grid }
+    points = sweep (fun r -> Kernel.log10_error_at p ~n ~r) grid }
 
 let figure5 ?scenario ?(points = 400) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -87,12 +87,7 @@ let figure6 ?scenario ?(points = 400) () =
   let grid = r_grid ~points ~lo:0.02 ~hi:6. in
   let envelope =
     { label = "E(N(r), r)";
-      points =
-        sweep
-          (fun r ->
-            let n, _ = Optimize.optimal_n p ~r in
-            Reliability.log10_error_probability p ~n ~r)
-          grid }
+      points = sweep (fun r -> Optimize.log10_error_under_optimal_n p ~r) grid }
   in
   { base with
     id = "fig6";
@@ -114,17 +109,21 @@ let cost_landscape ?scenario ?(n_max = 10) ?(r_points = 24) ?(r_lo = 0.25)
   let p = Option.value ~default:(default_scenario ()) scenario in
   let ns = Array.init n_max (fun i -> i + 1) in
   let rs = r_grid ~points:r_points ~lo:r_lo ~hi:r_hi in
-  (* flatten the (n, r) product so the pool balances across the whole
-     surface, not just within one row *)
-  let flat =
-    Exec.Parallel.init (n_max * r_points) (fun k ->
-        let n = ns.(k / r_points) and r = rs.(k mod r_points) in
-        log10 (Cost.mean p ~n ~r))
+  (* one streaming kernel per column: the whole n-range of a fixed r
+     costs n_max survival evaluations instead of O(n_max^2); columns
+     fan out across the pool and transpose into the n-major rows *)
+  let columns =
+    Exec.Parallel.map
+      (fun r ->
+        let k = Kernel.create p ~r in
+        Array.init n_max (fun _ ->
+            Kernel.advance k;
+            log10 (Kernel.cost k)))
+      rs
   in
   { ns;
     rs;
-    log10_cost =
-      Array.init n_max (fun i -> Array.sub flat (i * r_points) r_points) }
+    log10_cost = Array.init n_max (fun i -> Array.map (fun col -> col.(i)) columns) }
 
 let latency_figure ?scenario () =
   let p = Option.value ~default:(default_scenario ()) scenario in

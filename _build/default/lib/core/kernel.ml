@@ -1,0 +1,182 @@
+(* Streaming evaluation kernel for the n-sweeps behind Figs. 3-6.
+
+   Every quantity the optimizers scan over n — Eq. 3's mean cost and
+   Eq. 4's error probability — depends on n only through the telescoped
+   no-answer products pi_n = prod_{i<=n} S(ir)/S(0), their prefix sum
+   sum_{i<n} pi_i, and the log-space twin of pi_n.  All three obey O(1)
+   recurrences in n, so a scan to n_max needs one survival evaluation
+   per step instead of the O(n) rebuild that calling [Cost.mean] /
+   [Reliability.error_probability] point-by-point performs.
+
+   Bit-identity contract: the recurrences below replicate, operation by
+   operation, the loops in [Probes.pi_all] / [Probes.pi] /
+   [Probes.log_pi] and the element order of [Numerics.Safe_float.sum],
+   and the readers replicate the closed-form expressions in [Cost.mean]
+   and [Reliability].  A kernel-swept value is therefore the same float,
+   bit for bit, as the direct call — the golden CLI and figure outputs
+   cannot move.  [test/test_kernel.ml] and the bench smoke target hold
+   this contract. *)
+
+(* Per-domain survival memo.  Dense r-grids revisit the same abscissae
+   i*r (lattices r = k*d in particular), and [s 0.] is re-evaluated by
+   every cursor; caching survival values turns those repeats into table
+   hits.  The table lives in domain-local storage so cursors running on
+   the [Exec.Pool] domains never share state — no locks, no
+   cross-domain traffic, and identical values whatever the job count
+   (the memo can only change speed, never results, because survival
+   closures are pure).  Keys: the distribution record by physical
+   identity, then the float abscissa.  Capacity is a backstop, not an
+   eviction policy: overflow drops the table wholesale. *)
+module Memo = struct
+  (* monomorphic float keys: skips the polymorphic-compare dispatch on
+     the [find] hot path *)
+  module Tbl = Hashtbl.Make (struct
+    type t = float
+
+    let equal (a : float) b = a = b
+    let hash (x : float) = Hashtbl.hash x
+  end)
+
+  type entry = { dist : Dist.Distribution.t; table : float Tbl.t }
+
+  let max_dists = 8
+  let max_points = 1 lsl 20
+
+  let key : entry list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let survival (dist : Dist.Distribution.t) =
+    let entries = Domain.DLS.get key in
+    let entry =
+      match List.find_opt (fun e -> e.dist == dist) !entries with
+      | Some e -> e
+      | None ->
+          let e = { dist; table = Tbl.create 1024 } in
+          if List.length !entries >= max_dists then entries := [ e ]
+          else entries := e :: !entries;
+          e
+    in
+    let s = dist.survival in
+    fun t ->
+      try Tbl.find entry.table t
+      with Not_found ->
+        let v = s t in
+        if Tbl.length entry.table >= max_points then Tbl.reset entry.table;
+        Tbl.add entry.table t v;
+        v
+end
+
+type t = {
+  params : Params.t;
+  r : float;
+  survival : float -> float;
+  s0 : float;
+  mutable n : int;
+  mutable ratio : float;
+  mutable pi : float;
+  mutable log_pi : float;
+  (* Neumaier running state for sum_{i < n} pi_i; reading the sum as
+     [sum +. comp] matches [Safe_float.sum] on the prefix array. *)
+  mutable sum : float;
+  mutable comp : float;
+}
+
+let create ?(memo = true) (p : Params.t) ~r =
+  if r < 0. then invalid_arg "Kernel.create: negative listening period";
+  let survival = if memo then Memo.survival p.delay else p.delay.survival in
+  let s0 = survival 0. in
+  { params = p;
+    r;
+    survival;
+    s0;
+    n = 0;
+    ratio = 1.;
+    pi = 1.;
+    log_pi = 0.;
+    sum = 0.;
+    comp = 0. }
+
+let n k = k.n
+let r k = k.r
+let params k = k.params
+let ratio k = k.ratio
+let pi k = k.pi
+let log_pi k = k.log_pi
+let sum_pi k = k.sum +. k.comp
+
+let advance k =
+  (* pi_n joins the prefix sum before the step to n + 1 *)
+  let x = k.pi in
+  let t = k.sum +. x in
+  if Float.abs k.sum >= Float.abs x then k.comp <- k.comp +. ((k.sum -. t) +. x)
+  else k.comp <- k.comp +. ((x -. t) +. k.sum);
+  k.sum <- t;
+  let i = k.n + 1 in
+  let s_ir = k.survival (float_of_int i *. k.r) in
+  (* [si] divides unguarded exactly as [Probes.log_pi] does; the ratio
+     carries the [Probes.pi_all] guard (identical quotient when the
+     guard does not fire) *)
+  let si = s_ir /. k.s0 in
+  k.ratio <- (if k.s0 <= 0. then 0. else si);
+  k.pi <- k.pi *. k.ratio;
+  (* [si = 1.] skips the transcendental on the pre-round-trip plateau;
+     IEEE guarantees [log 1. = +0.], so the sum is unchanged bit for
+     bit *)
+  k.log_pi <-
+    (k.log_pi
+    +. (if si <= 0. then neg_infinity else if si = 1. then 0. else log si));
+  k.n <- i
+
+let advance_to k ~n =
+  if n < k.n then invalid_arg "Kernel.advance_to: cursor already past n";
+  while k.n < n do
+    advance k
+  done
+
+let require_step name k =
+  if k.n < 1 then invalid_arg (name ^ ": n must be >= 1 (advance first)")
+
+(* Eq. 3, exactly as [Cost.mean] assembles it *)
+let cost k =
+  require_step "Kernel.cost" k;
+  let p = k.params in
+  let sum_pi = k.sum +. k.comp in
+  let pi_n = k.pi in
+  let numerator =
+    ((k.r +. p.probe_cost)
+     *. ((float_of_int k.n *. (1. -. p.q)) +. (p.q *. sum_pi)))
+    +. (p.q *. p.error_cost *. pi_n)
+  in
+  numerator /. (1. -. (p.q *. (1. -. pi_n)))
+
+(* Eq. 4, exactly as [Reliability.error_probability] *)
+let error_probability k =
+  require_step "Kernel.error_probability" k;
+  let p = k.params in
+  let pi_n = k.pi in
+  Numerics.Safe_float.clamp_probability
+    (p.q *. pi_n /. (1. -. (p.q *. (1. -. pi_n))))
+
+(* deep-tail twin, exactly as [Reliability.log10_error_probability] *)
+let log10_error k =
+  require_step "Kernel.log10_error" k;
+  let p = k.params in
+  let log_pi = k.log_pi in
+  let pi_n = exp log_pi in
+  let denom = 1. -. (p.q *. (1. -. pi_n)) in
+  (log p.q +. log_pi -. log denom) /. Float.log 10.
+
+let one_shot name ?memo read (p : Params.t) ~n ~r =
+  if n < 1 then invalid_arg (name ^ ": n must be >= 1");
+  if r < 0. then invalid_arg (name ^ ": negative listening period");
+  let k = create ?memo p ~r in
+  advance_to k ~n;
+  read k
+
+let cost_at ?memo p ~n ~r = one_shot "Kernel.cost_at" ?memo cost p ~n ~r
+
+let error_probability_at ?memo p ~n ~r =
+  one_shot "Kernel.error_probability_at" ?memo error_probability p ~n ~r
+
+let log10_error_at ?memo p ~n ~r =
+  one_shot "Kernel.log10_error_at" ?memo log10_error p ~n ~r

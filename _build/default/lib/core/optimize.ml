@@ -22,7 +22,7 @@ let default_r_hi (p : Params.t) ~n =
 
 let optimal_r ?r_hi ?(samples = 512) (p : Params.t) ~n =
   if n < 1 then invalid_arg "Optimize.optimal_r: n must be >= 1";
-  let f r = Cost.mean p ~n ~r in
+  let f r = Kernel.cost_at p ~n ~r in
   let rec search hi attempts =
     let result = Numerics.Minimize.grid_then_brent ~samples ~f 0. hi in
     if result.x >= 0.95 *. hi && attempts < 60 then search (hi *. 2.) (attempts + 1)
@@ -31,33 +31,63 @@ let optimal_r ?r_hi ?(samples = 512) (p : Params.t) ~n =
   let hi = match r_hi with Some h -> h | None -> default_r_hi p ~n in
   search hi 0
 
-let optimal_n ?(n_max = 4096) ?(patience = 24) (p : Params.t) ~r =
+type n_scan = { n : int; cost : float; error_prob : float; log10_error : float }
+
+let optimal_n_scan ?(n_max = 4096) ?(patience = 24) (p : Params.t) ~r =
   if r < 0. then invalid_arg "Optimize.optimal_n: negative r";
+  (* One streaming kernel cursor serves the whole scan: the first-useful
+     probe search, every cost evaluation, and the error probability of
+     the winner all read off the same O(1)-per-step recurrences, so the
+     scan costs one survival evaluation per candidate n instead of the
+     former O(n) rebuild per candidate. *)
+  let k = Kernel.create p ~r in
+  Kernel.advance k;
+  let best_n = ref 1 and best_cost = ref (Kernel.cost k) in
+  let best_pi = ref (Kernel.pi k) and best_log_pi = ref (Kernel.log_pi k) in
   (* While i*r is below the round-trip delay, p_i(r) = 1 and the cost
      rises linearly in n on a plateau at height ~ qE; the first n whose
      horizon can see a reply is where the descent can start.  Below that
-     point n = 1 is the (bad) optimum of the plateau. *)
-  let first_useful =
-    let rec find i =
-      if i > n_max then n_max
-      else if Probes.no_answer p ~i ~r < 1. then i
-      else find (i + 1)
-    in
-    if r = 0. then n_max else find 1
-  in
-  let best_n = ref 1 and best_cost = ref (Cost.mean p ~n:1 ~r) in
+     point n = 1 is the (bad) optimum of the plateau.  [ratio] is
+     exactly [Probes.no_answer ~i:n], so the cursor walks the old
+     first-useful search; at r = 0 no horizon ever sees a reply and the
+     scan starts at n_max, as before. *)
+  if r = 0. then
+    while Kernel.n k < n_max do
+      Kernel.advance k
+    done
+  else
+    while (not (Kernel.ratio k < 1.)) && Kernel.n k < n_max do
+      Kernel.advance k
+    done;
   let misses = ref 0 in
-  let n = ref (max 1 first_useful) in
-  while !misses < patience && !n <= n_max do
-    let c = Cost.mean p ~n:!n ~r in
+  let at_end = ref false in
+  while (not !at_end) && !misses < patience && Kernel.n k <= n_max do
+    let c = Kernel.cost k in
     if c < !best_cost then begin
-      best_n := !n;
+      best_n := Kernel.n k;
       best_cost := c;
+      best_pi := Kernel.pi k;
+      best_log_pi := Kernel.log_pi k;
       misses := 0
     end else incr misses;
-    incr n
+    if Kernel.n k < n_max then Kernel.advance k else at_end := true
   done;
-  (!best_n, !best_cost)
+  (* Eq. 4 readings for the winner, from the pi / log-pi snapshots taken
+     at its step — the same expressions as [Reliability], bit for bit. *)
+  let error_prob =
+    Numerics.Safe_float.clamp_probability
+      (p.q *. !best_pi /. (1. -. (p.q *. (1. -. !best_pi))))
+  in
+  let log10_error =
+    let pi_n = exp !best_log_pi in
+    let denom = 1. -. (p.q *. (1. -. pi_n)) in
+    (log p.q +. !best_log_pi -. log denom) /. Float.log 10.
+  in
+  { n = !best_n; cost = !best_cost; error_prob; log10_error }
+
+let optimal_n ?n_max ?patience (p : Params.t) ~r =
+  let scan = optimal_n_scan ?n_max ?patience p ~r in
+  (scan.n, scan.cost)
 
 let min_cost ?n_max ?patience p ~r = snd (optimal_n ?n_max ?patience p ~r)
 
@@ -73,13 +103,15 @@ let lower_envelope ?pool ?n_max ?patience (p : Params.t) grid =
     (optimal_n_sweep ?pool ?n_max ?patience p grid)
 
 let error_under_optimal_n ?n_max (p : Params.t) ~r =
-  let n, _ = optimal_n ?n_max p ~r in
-  Reliability.error_probability p ~n ~r
+  (optimal_n_scan ?n_max p ~r).error_prob
+
+let log10_error_under_optimal_n ?n_max (p : Params.t) ~r =
+  (optimal_n_scan ?n_max p ~r).log10_error
 
 let global_optimum ?(n_max = 4096) ?(patience = 8) (p : Params.t) =
   let evaluate n =
     let { Numerics.Minimize.x = r; fx = cost; _ } = optimal_r p ~n in
-    { n; r; cost; error_prob = Reliability.error_probability p ~n ~r }
+    { n; r; cost; error_prob = Kernel.error_probability_at p ~n ~r }
   in
   let best = ref (evaluate 1) in
   let misses = ref 0 in
@@ -107,8 +139,9 @@ let constrained_optimum ?(n_max = 32) ~budget (p : Params.t) =
     let r_cap = budget /. float_of_int n in
     let unconstrained = optimal_r ~r_hi:r_cap p ~n in
     let r = Float.min unconstrained.Numerics.Minimize.x r_cap in
-    let cost = Cost.mean p ~n ~r in
-    { n; r; cost; error_prob = Reliability.error_probability p ~n ~r }
+    let k = Kernel.create p ~r in
+    Kernel.advance_to k ~n;
+    { n; r; cost = Kernel.cost k; error_prob = Kernel.error_probability k }
   in
   let best = ref (evaluate 1) in
   for n = 2 to n_max do
@@ -120,9 +153,16 @@ let constrained_optimum ?(n_max = 32) ~budget (p : Params.t) =
 let probes_for_error_target ?(n_max = 256) (p : Params.t) ~r ~target =
   if not (Numerics.Safe_float.is_probability target) then
     invalid_arg "Optimize.probes_for_error_target: target outside [0, 1]";
-  let rec search n =
-    if n > n_max then None
-    else if Reliability.error_probability p ~n ~r <= target then Some n
-    else search (n + 1)
+  if r < 0. then
+    invalid_arg "Optimize.probes_for_error_target: negative listening period";
+  (* one cursor instead of an O(n) rebuild per tested n *)
+  let k = Kernel.create p ~r in
+  let rec search () =
+    if Kernel.n k >= n_max then None
+    else begin
+      Kernel.advance k;
+      if Kernel.error_probability k <= target then Some (Kernel.n k)
+      else search ()
+    end
   in
-  search 1
+  search ()

@@ -3,15 +3,24 @@ type design = { n : int; r : float; cost : float; log10_error : float }
 let enumerate ?(n_max = 12) ?(r_points = 200) ?(r_max = 8.) (p : Params.t) =
   if n_max < 1 then invalid_arg "Tradeoff.enumerate: n_max < 1";
   let grid = Numerics.Grid.linspace (r_max /. float_of_int r_points) r_max r_points in
+  (* stream one kernel per r over the whole n-range, then lay the
+     columns out in the historical n-major order *)
+  let columns =
+    Array.map
+      (fun r ->
+        let k = Kernel.create p ~r in
+        Array.init n_max (fun _ ->
+            Kernel.advance k;
+            (Kernel.cost k, Kernel.log10_error k)))
+      grid
+  in
   List.concat_map
     (fun n ->
       Array.to_list
-        (Array.map
-           (fun r ->
-             { n;
-               r;
-               cost = Cost.mean p ~n ~r;
-               log10_error = Reliability.log10_error_probability p ~n ~r })
+        (Array.mapi
+           (fun j r ->
+             let cost, log10_error = columns.(j).(n - 1) in
+             { n; r; cost; log10_error })
            grid))
     (List.init n_max (fun i -> i + 1))
 

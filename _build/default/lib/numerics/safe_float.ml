@@ -32,16 +32,20 @@ let log_diff_exp a b =
 
 (* Neumaier's improvement of Kahan summation: track the compensation of
    whichever operand has the larger magnitude. *)
-let sum xs =
+let sum_prefix xs n =
+  if n < 0 || n > Array.length xs then
+    invalid_arg "Safe_float.sum_prefix: prefix length out of range";
   let s = ref 0. and comp = ref 0. in
-  Array.iter
-    (fun x ->
-      let t = !s +. x in
-      if Float.abs !s >= Float.abs x then comp := !comp +. ((!s -. t) +. x)
-      else comp := !comp +. ((x -. t) +. !s);
-      s := t)
-    xs;
+  for i = 0 to n - 1 do
+    let x = xs.(i) in
+    let t = !s +. x in
+    if Float.abs !s >= Float.abs x then comp := !comp +. ((!s -. t) +. x)
+    else comp := !comp +. ((x -. t) +. !s);
+    s := t
+  done;
   !s +. !comp
+
+let sum xs = sum_prefix xs (Array.length xs)
 
 let sum_list xs =
   let s = ref 0. and comp = ref 0. in

@@ -37,6 +37,12 @@ val log_diff_exp : float -> float -> float
 val sum : float array -> float
 (** Kahan–Babuska (Neumaier) compensated sum. *)
 
+val sum_prefix : float array -> int -> float
+(** [sum_prefix xs n] is the compensated sum of [xs.(0) .. xs.(n - 1)],
+    without copying the prefix; equal to [sum (Array.sub xs 0 n)] bit
+    for bit.  Raises [Invalid_argument] when [n] is negative or exceeds
+    the array length. *)
+
 val sum_list : float list -> float
 (** Compensated sum over a list. *)
 

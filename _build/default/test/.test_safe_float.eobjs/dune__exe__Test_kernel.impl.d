@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Dist Exec Fun List Numerics Printf QCheck QCheck_alcotest Zeroconf

@@ -1,0 +1,93 @@
+(** Streaming n-sweep evaluation kernel.
+
+    For a fixed scenario and listening period [(p, r)], a cursor of
+    type {!t} maintains the recurrences
+
+    {[ pi_n     = pi_(n-1) * S(n r) / S(0)
+       sum_n    = sum_(n-1) + pi_(n-1)        (compensated)
+       log pi_n = log pi_(n-1) + log (S(n r) / S(0)) ]}
+
+    so that after [n] calls to {!advance} it can emit Eq. 3's mean cost,
+    Eq. 4's error probability, and the log10 error in O(1) — one
+    survival evaluation per step, against the O(n) rebuild that the
+    point-wise [Cost.mean] / [Reliability] calls pay.  The optimizers'
+    n-scans ({!Optimize.optimal_n}, the Fig. 4 envelope,
+    {!Optimize.global_optimum}) and the figure builders run on cursors.
+
+    {b Bit-identity.}  The recurrences replicate the exact operation
+    sequences of [Probes.pi_all]/[pi]/[log_pi] and
+    [Numerics.Safe_float.sum], and the readers replicate [Cost.mean]
+    and [Reliability] verbatim, so every emitted float equals the
+    direct computation bit for bit — golden outputs cannot move.
+
+    {b Survival memo.}  Cursors share a per-domain memo of survival
+    evaluations keyed on the distribution (physical identity) and the
+    abscissa [i * r], so dense r-grids that revisit the same points
+    (e.g. lattices [r = k d]) hit the cache.  The table lives in
+    [Domain.DLS]: domains of an [Exec.Pool] never share it, which keeps
+    the kernel lock-free and its results independent of the job count.
+    Pass [~memo:false] to bypass the table (identical values either
+    way). *)
+
+type t
+(** A streaming cursor: scenario, listening period, and the recurrence
+    state at the current probe count [n]. *)
+
+val create : ?memo:bool -> Params.t -> r:float -> t
+(** Cursor at [n = 0] ([pi_0 = 1], empty prefix sum).  [memo] (default
+    [true]) routes survival evaluations through the per-domain memo
+    table.  Raises [Invalid_argument] on a negative [r]. *)
+
+val advance : t -> unit
+(** Step [n] to [n + 1]: folds [pi_n] into the prefix sum and performs
+    the single survival evaluation at [(n + 1) r]. *)
+
+val advance_to : t -> n:int -> unit
+(** {!advance} until the cursor sits at [n].  Raises
+    [Invalid_argument] if the cursor is already past [n] (cursors only
+    move forward). *)
+
+val n : t -> int
+(** Current probe count. *)
+
+val r : t -> float
+(** The fixed listening period. *)
+
+val params : t -> Params.t
+(** The fixed scenario. *)
+
+val ratio : t -> float
+(** [p_n(r) = S(n r)/S(0)] from the latest step (Eq. 1 telescoped),
+    [1.] at [n = 0]; equals [Probes.no_answer ~i:n]. *)
+
+val pi : t -> float
+(** [pi_n(r)]; equals [Probes.pi ~n] bit for bit. *)
+
+val log_pi : t -> float
+(** [log pi_n(r)]; equals [Probes.log_pi ~n] bit for bit. *)
+
+val sum_pi : t -> float
+(** [pi_0 + ... + pi_(n-1)], compensated; equals
+    [Safe_float.sum_prefix (Probes.pi_all ~n) n] bit for bit. *)
+
+val cost : t -> float
+(** Eq. 3 at the cursor; equals [Cost.mean ~n] bit for bit.  Raises
+    [Invalid_argument] at [n = 0]. *)
+
+val error_probability : t -> float
+(** Eq. 4 at the cursor; equals [Reliability.error_probability ~n] bit
+    for bit.  Raises [Invalid_argument] at [n = 0]. *)
+
+val log10_error : t -> float
+(** Equals [Reliability.log10_error_probability ~n] bit for bit.
+    Raises [Invalid_argument] at [n = 0]. *)
+
+(** {1 One-shot reads}
+
+    Convenience wrappers building a cursor, advancing to [n] and
+    reading once — drop-in replacements for the direct calls that still
+    benefit from the survival memo across calls. *)
+
+val cost_at : ?memo:bool -> Params.t -> n:int -> r:float -> float
+val error_probability_at : ?memo:bool -> Params.t -> n:int -> r:float -> float
+val log10_error_at : ?memo:bool -> Params.t -> n:int -> r:float -> float

@@ -1,0 +1,280 @@
+(* The kernel's contract is bit-identity with the direct evaluation
+   paths: a streamed cost/error must be the same float the point-wise
+   [Cost.mean] / [Reliability] calls produce, at every job count, and a
+   full optimal-n scan must spend O(n_max) survival evaluations. *)
+
+module K = Zeroconf.Kernel
+module O = Zeroconf.Optimize
+module Params = Zeroconf.Params
+
+let fig2 = Params.figure2
+
+(* ------------------------------------------------------------------ *)
+(* unit: cursor state mirrors the Probes prefix quantities             *)
+
+let test_cursor_matches_probes () =
+  let r = 1.3 in
+  let k = K.create fig2 ~r in
+  Alcotest.(check int) "starts at n = 0" 0 (K.n k);
+  Alcotest.(check (float 0.)) "pi_0" 1. (K.pi k);
+  for n = 1 to 12 do
+    K.advance k;
+    Alcotest.(check int) "n" n (K.n k);
+    Alcotest.(check (float 0.)) "ratio = no_answer"
+      (Zeroconf.Probes.no_answer fig2 ~i:n ~r)
+      (K.ratio k);
+    Alcotest.(check (float 0.)) "pi = Probes.pi"
+      (Zeroconf.Probes.pi fig2 ~n ~r) (K.pi k);
+    Alcotest.(check (float 0.)) "log_pi = Probes.log_pi"
+      (Zeroconf.Probes.log_pi fig2 ~n ~r)
+      (K.log_pi k);
+    let pis = Zeroconf.Probes.pi_all fig2 ~n ~r in
+    Alcotest.(check (float 0.)) "sum_pi = compensated prefix sum"
+      (Numerics.Safe_float.sum_prefix pis n)
+      (K.sum_pi k)
+  done
+
+let test_readers_match_direct () =
+  List.iter
+    (fun r ->
+      let k = K.create fig2 ~r in
+      for n = 1 to 16 do
+        K.advance k;
+        Alcotest.(check (float 0.)) "cost" (Zeroconf.Cost.mean fig2 ~n ~r) (K.cost k);
+        Alcotest.(check (float 0.)) "error"
+          (Zeroconf.Reliability.error_probability fig2 ~n ~r)
+          (K.error_probability k);
+        Alcotest.(check (float 0.)) "log10 error"
+          (Zeroconf.Reliability.log10_error_probability fig2 ~n ~r)
+          (K.log10_error k)
+      done)
+    [ 0.; 0.05; 0.5; 1.; 2.; 6. ]
+
+let test_guards () =
+  Alcotest.check_raises "negative r"
+    (Invalid_argument "Kernel.create: negative listening period") (fun () ->
+      ignore (K.create fig2 ~r:(-1.)));
+  Alcotest.check_raises "cost at n = 0"
+    (Invalid_argument "Kernel.cost: n must be >= 1 (advance first)") (fun () ->
+      ignore (K.cost (K.create fig2 ~r:1.)));
+  Alcotest.check_raises "cursor only moves forward"
+    (Invalid_argument "Kernel.advance_to: cursor already past n") (fun () ->
+      let k = K.create fig2 ~r:1. in
+      K.advance_to k ~n:3;
+      K.advance_to k ~n:2);
+  Alcotest.check_raises "one-shot n = 0"
+    (Invalid_argument "Kernel.cost_at: n must be >= 1") (fun () ->
+      ignore (K.cost_at fig2 ~n:0 ~r:1.))
+
+(* ------------------------------------------------------------------ *)
+(* the old optimal_n algorithm, verbatim, as an executable reference   *)
+
+let optimal_n_direct ?(n_max = 4096) ?(patience = 24) (p : Params.t) ~r =
+  let first_useful =
+    let rec find i =
+      if i > n_max then n_max
+      else if Zeroconf.Probes.no_answer p ~i ~r < 1. then i
+      else find (i + 1)
+    in
+    if r = 0. then n_max else find 1
+  in
+  let best_n = ref 1 and best_cost = ref (Zeroconf.Cost.mean p ~n:1 ~r) in
+  let misses = ref 0 in
+  let n = ref (max 1 first_useful) in
+  while !misses < patience && !n <= n_max do
+    let c = Zeroconf.Cost.mean p ~n:!n ~r in
+    if c < !best_cost then begin
+      best_n := !n;
+      best_cost := c;
+      misses := 0
+    end else incr misses;
+    incr n
+  done;
+  (!best_n, !best_cost)
+
+let test_optimal_n_matches_reference () =
+  List.iter
+    (fun (n_max, patience) ->
+      Array.iter
+        (fun r ->
+          Alcotest.(check (pair int (float 0.)))
+            (Printf.sprintf "r = %g, n_max = %d, patience = %d" r n_max patience)
+            (optimal_n_direct ~n_max ~patience fig2 ~r)
+            (O.optimal_n ~n_max ~patience fig2 ~r))
+        (Array.append [| 0.; 0.02 |] (Numerics.Grid.linspace 0.05 6. 40)))
+    [ (4096, 24); (64, 24); (4096, 1); (1, 24); (0, 24); (4096, 0) ]
+
+let test_scan_error_fields () =
+  Array.iter
+    (fun r ->
+      let scan = O.optimal_n_scan fig2 ~r in
+      let n = scan.O.n in
+      Alcotest.(check (float 0.)) "error_prob"
+        (Zeroconf.Reliability.error_probability fig2 ~n ~r)
+        scan.O.error_prob;
+      Alcotest.(check (float 0.)) "log10_error"
+        (Zeroconf.Reliability.log10_error_probability fig2 ~n ~r)
+        scan.O.log10_error)
+    (Numerics.Grid.linspace 0.3 6. 20)
+
+(* ------------------------------------------------------------------ *)
+(* the O(n_max) acceptance criterion, via a counting survival stub     *)
+
+let counting_scenario () =
+  let base = Dist.Families.shifted_exponential ~mass:0.999 ~rate:10. ~delay:1. () in
+  let count = ref 0 in
+  let dist =
+    Dist.Distribution.v ~name:"counting" ~mass:base.Dist.Distribution.mass
+      ~cdf:base.Dist.Distribution.cdf
+      ~survival:(fun t ->
+        incr count;
+        base.Dist.Distribution.survival t)
+      ~sample:base.Dist.Distribution.sample ()
+  in
+  ( Params.v ~name:"counting" ~delay:dist ~q:0.01 ~probe_cost:1. ~error_cost:1e6,
+    count )
+
+let test_optimal_n_is_linear_in_n_max () =
+  let p, count = counting_scenario () in
+  let n_max = 512 in
+  (* patience = n_max forces the scan all the way to n_max *)
+  ignore (O.optimal_n ~n_max ~patience:n_max p ~r:0.5);
+  let first_pass = !count in
+  Alcotest.(check bool)
+    (Printf.sprintf "scan to %d costs <= %d evaluations (got %d)" n_max
+       (n_max + 2) first_pass)
+    true
+    (first_pass > 0 && first_pass <= n_max + 2);
+  (* the per-domain memo absorbs a repeat of the same scan entirely *)
+  ignore (O.optimal_n ~n_max ~patience:n_max p ~r:0.5);
+  Alcotest.(check int) "second identical scan is all memo hits" first_pass !count
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: kernel sweeps vs direct evaluation on random scenarios      *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* loss = float_range 0. 0.5 in
+    let* rate = float_range 0.5 20. in
+    let* delay = float_range 0. 2. in
+    let* q = float_range 0.01 0.85 in
+    let* error_cost = float_range 10. 1e8 in
+    return
+      (Params.v ~name:"prop"
+         ~delay:(Dist.Families.shifted_exponential ~mass:(1. -. loss) ~rate ~delay ())
+         ~q ~probe_cost:1. ~error_cost))
+
+let agree ?(rtol = 1e-12) a b =
+  a = b (* covers infinities and bit-identical floats *)
+  || Numerics.Safe_float.approx_eq ~rtol a b
+
+(* stream one cursor to n_max, checking every power-of-two checkpoint
+   plus n_max itself against the direct path *)
+let prop_swept_values_agree =
+  QCheck.Test.make ~name:"kernel sweep = direct Cost.mean / Reliability (<= 1e-12)"
+    ~count:60
+    QCheck.(triple (make scenario_gen) (int_range 1 4096) (float_range 0.01 8.))
+    (fun (p, n_max, r) ->
+      let k = K.create p ~r in
+      let ok = ref true in
+      let checkpoint = ref 1 in
+      for n = 1 to n_max do
+        K.advance k;
+        if n = !checkpoint || n = n_max then begin
+          checkpoint := 2 * !checkpoint;
+          ok :=
+            !ok
+            && agree (Zeroconf.Cost.mean p ~n ~r) (K.cost k)
+            && agree (Zeroconf.Reliability.error_probability p ~n ~r)
+                 (K.error_probability k)
+            && agree (Zeroconf.Reliability.log10_error_probability p ~n ~r)
+                 (K.log10_error k)
+        end
+      done;
+      !ok)
+
+let prop_one_shots_agree =
+  QCheck.Test.make ~name:"one-shot reads = direct (bit-identical)" ~count:200
+    QCheck.(triple (make scenario_gen) (int_range 1 64) (float_range 0. 8.))
+    (fun (p, n, r) ->
+      K.cost_at p ~n ~r = Zeroconf.Cost.mean p ~n ~r
+      && K.error_probability_at p ~n ~r
+         = Zeroconf.Reliability.error_probability p ~n ~r
+      && K.log10_error_at p ~n ~r
+         = Zeroconf.Reliability.log10_error_probability p ~n ~r
+      && K.cost_at ~memo:false p ~n ~r = K.cost_at p ~n ~r)
+
+let prop_optimal_n_matches_reference =
+  QCheck.Test.make ~name:"kernel optimal_n = historical algorithm (exact)"
+    ~count:100
+    QCheck.(pair (make scenario_gen) (float_range 0. 6.))
+    (fun (p, r) ->
+      optimal_n_direct ~n_max:256 p ~r = O.optimal_n ~n_max:256 p ~r)
+
+(* ------------------------------------------------------------------ *)
+(* job counts: kernel-backed sweeps stay bit-identical on Exec pools   *)
+
+let with_pool jobs f =
+  let pool = Exec.Pool.create jobs in
+  Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) (fun () -> f pool)
+
+let job_counts = [ 1; 2; 8 ]
+
+let test_sweeps_bit_identical_across_jobs () =
+  let grid = Numerics.Grid.linspace 0.05 6. 61 in
+  let serial_sweep = O.optimal_n_sweep ~pool:(Exec.Pool.create 1) fig2 grid in
+  let serial_costs = Array.map (fun r -> K.cost_at fig2 ~n:4 ~r) grid in
+  let serial_errors = Array.map (fun r -> K.log10_error_at fig2 ~n:4 ~r) grid in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "optimal_n_sweep at jobs = %d" jobs)
+            true
+            (serial_sweep = O.optimal_n_sweep ~pool fig2 grid);
+          Alcotest.(check bool)
+            (Printf.sprintf "kernel cost sweep at jobs = %d" jobs)
+            true
+            (serial_costs
+            = Exec.Parallel.map ~pool (fun r -> K.cost_at fig2 ~n:4 ~r) grid);
+          Alcotest.(check bool)
+            (Printf.sprintf "kernel error sweep at jobs = %d" jobs)
+            true
+            (serial_errors
+            = Exec.Parallel.map ~pool (fun r -> K.log10_error_at fig2 ~n:4 ~r) grid)))
+    job_counts
+
+let prop_parallel_scan_agrees =
+  QCheck.Test.make
+    ~name:"random scenario: kernel sweep bit-identical at jobs in {1, 2, 8}"
+    ~count:10
+    QCheck.(pair (make scenario_gen) (int_range 2 32))
+    (fun (p, points) ->
+      let grid = Numerics.Grid.linspace 0.05 6. points in
+      let reference = Array.map (fun r -> O.optimal_n_scan ~n_max:256 p ~r) grid in
+      List.for_all
+        (fun jobs ->
+          with_pool jobs (fun pool ->
+              reference
+              = Exec.Parallel.map ~pool (fun r -> O.optimal_n_scan ~n_max:256 p ~r) grid))
+        job_counts)
+
+let () =
+  Alcotest.run "kernel"
+    [ ( "cursor",
+        [ Alcotest.test_case "prefix quantities" `Quick test_cursor_matches_probes;
+          Alcotest.test_case "readers" `Quick test_readers_match_direct;
+          Alcotest.test_case "guards" `Quick test_guards ] );
+      ( "optimal n",
+        [ Alcotest.test_case "matches historical algorithm" `Quick
+            test_optimal_n_matches_reference;
+          Alcotest.test_case "scan error fields" `Quick test_scan_error_fields;
+          Alcotest.test_case "O(n_max) survival evaluations" `Quick
+            test_optimal_n_is_linear_in_n_max ] );
+      ( "parallel",
+        [ Alcotest.test_case "bit-identical across job counts" `Quick
+            test_sweeps_bit_identical_across_jobs ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_swept_values_agree; prop_one_shots_agree;
+            prop_optimal_n_matches_reference; prop_parallel_scan_agrees ] ) ]
