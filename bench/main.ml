@@ -125,29 +125,29 @@ let reproduce_fig5_6 () =
 let reproduce_sec44 () =
   section "Sec. 4.4 -- minimal useful probe count";
   Printf.printf "nu(figure2)            = %d   (paper: 3)\n"
-    (Zeroconf.Experiments.section_44_nu ());
+    (Engine.Experiments.section_44_nu ());
   Printf.printf "nu(realistic-ethernet) = %d   (paper Sec. 6 context: 2)\n"
     (Zeroconf.Optimize.min_useful_probes Zeroconf.Params.realistic_ethernet)
 
 let reproduce_sec45 () =
   section "Sec. 4.5 -- calibrated costs making the draft's (n, r) optimal";
   List.iter
-    (fun (row : Zeroconf.Experiments.calibration_row) ->
-      let d = row.Zeroconf.Experiments.derived in
-      Printf.printf "%s (target n=%d, r=%g):\n" row.Zeroconf.Experiments.label
-        row.Zeroconf.Experiments.target_n row.Zeroconf.Experiments.target_r;
+    (fun (row : Engine.Experiments.calibration_row) ->
+      let d = row.Engine.Experiments.derived in
+      Printf.printf "%s (target n=%d, r=%g):\n" row.Engine.Experiments.label
+        row.Engine.Experiments.target_n row.Engine.Experiments.target_r;
       Printf.printf "  E = %-12.4g (paper: %.2g)\n" d.Zeroconf.Calibrate.error_cost
-        row.Zeroconf.Experiments.paper_error_cost;
+        row.Engine.Experiments.paper_error_cost;
       Printf.printf "  c = %-12.4g (paper: %.2g; ours is the exact threshold)\n"
-        d.Zeroconf.Calibrate.probe_cost row.Zeroconf.Experiments.paper_probe_cost;
+        d.Zeroconf.Calibrate.probe_cost row.Engine.Experiments.paper_probe_cost;
       Printf.printf "  optimum under calibrated costs: n = %d, r = %.3f\n"
         d.Zeroconf.Calibrate.optimum.Zeroconf.Optimize.n
         d.Zeroconf.Calibrate.optimum.Zeroconf.Optimize.r)
-    (Zeroconf.Experiments.section_45 ())
+    (Engine.Experiments.section_45 ())
 
 let reproduce_sec6 () =
   section "Sec. 6 -- assessment on a realistic network";
-  Format.printf "%a@." Zeroconf.Assessment.pp (Zeroconf.Experiments.section_6 ());
+  Format.printf "%a@." Zeroconf.Assessment.pp (Engine.Experiments.section_6 ());
   Printf.printf "paper: optimal n = 2, r ~= 1.75, error probability ~= 4e-22\n"
 
 let reproduce_validation () =
@@ -161,21 +161,21 @@ let reproduce_validation () =
           ("E matrix", Output.Table.Right); ("E sim 95% CI", Output.Table.Left) ]
   in
   List.iter
-    (fun (row : Zeroconf.Experiments.validation_row) ->
+    (fun (row : Engine.Experiments.validation_row) ->
       Output.Table.add_row table
-        [ string_of_int row.Zeroconf.Experiments.n;
-          Printf.sprintf "%.2f" row.Zeroconf.Experiments.r;
-          Printf.sprintf "%.4f" row.Zeroconf.Experiments.analytic_cost;
-          Printf.sprintf "%.4f" row.Zeroconf.Experiments.matrix_cost;
+        [ string_of_int row.Engine.Experiments.n;
+          Printf.sprintf "%.2f" row.Engine.Experiments.r;
+          Printf.sprintf "%.4f" row.Engine.Experiments.analytic_cost;
+          Printf.sprintf "%.4f" row.Engine.Experiments.matrix_cost;
           Printf.sprintf "[%.4f, %.4f]"
-            row.Zeroconf.Experiments.simulated_cost.Dtmc.Simulate.ci_lo
-            row.Zeroconf.Experiments.simulated_cost.Dtmc.Simulate.ci_hi;
-          Printf.sprintf "%.5f" row.Zeroconf.Experiments.analytic_error;
-          Printf.sprintf "%.5f" row.Zeroconf.Experiments.matrix_error;
+            row.Engine.Experiments.simulated_cost.Dtmc.Simulate.ci_lo
+            row.Engine.Experiments.simulated_cost.Dtmc.Simulate.ci_hi;
+          Printf.sprintf "%.5f" row.Engine.Experiments.analytic_error;
+          Printf.sprintf "%.5f" row.Engine.Experiments.matrix_error;
           Printf.sprintf "[%.5f, %.5f]"
-            row.Zeroconf.Experiments.simulated_error.Dtmc.Simulate.ci_lo
-            row.Zeroconf.Experiments.simulated_error.Dtmc.Simulate.ci_hi ])
-    (Zeroconf.Experiments.validation ~trials:10_000 ());
+            row.Engine.Experiments.simulated_error.Dtmc.Simulate.ci_lo
+            row.Engine.Experiments.simulated_error.Dtmc.Simulate.ci_hi ])
+    (Engine.Experiments.validation ~trials:10_000 ());
   print_string (Output.Table.to_text table)
 
 let reproduce_refinements () =
@@ -220,16 +220,16 @@ let reproduce_latency () =
 
 let reproduce_pareto () =
   section "Extension (A4) -- cost/reliability Pareto front (figure2)";
-  let front = Zeroconf.Tradeoff.front ~n_max:10 ~r_points:150 ~r_max:6. fig2_scenario in
+  let front = Engine.Tradeoff.front ~n_max:10 ~r_points:150 ~r_max:6. fig2_scenario in
   Printf.printf "front size: %d designs; endpoints and knee:\n" (List.length front);
-  let show label (d : Zeroconf.Tradeoff.design) =
+  let show label (d : Engine.Tradeoff.design) =
     Printf.printf "  %-9s n = %2d, r = %5.2f: cost %8.2f, log10 error %.1f\n" label
-      d.Zeroconf.Tradeoff.n d.Zeroconf.Tradeoff.r d.Zeroconf.Tradeoff.cost
-      d.Zeroconf.Tradeoff.log10_error
+      d.Engine.Tradeoff.n d.Engine.Tradeoff.r d.Engine.Tradeoff.cost
+      d.Engine.Tradeoff.log10_error
   in
   (match front with d :: _ -> show "cheapest" d | [] -> ());
   (match List.rev front with d :: _ -> show "safest" d | [] -> ());
-  (match Zeroconf.Tradeoff.knee front with
+  (match Engine.Tradeoff.knee front with
   | Some d -> show "knee" d
   | None -> ());
   Printf.printf
@@ -436,7 +436,7 @@ let bench_tests =
                  ignore (Zeroconf.Optimize.error_under_optimal_n fig2_scenario ~r))
                r_grid));
       Test.make ~name:"sec44/nu"
-        (stage (fun () -> ignore (Zeroconf.Experiments.section_44_nu ())));
+        (stage (fun () -> ignore (Engine.Experiments.section_44_nu ())));
       Test.make ~name:"sec45/calibrate-E"
         (stage (fun () ->
              ignore
@@ -504,6 +504,15 @@ let bench_tests =
              Array.iter
                (fun r -> ignore (Zeroconf.Kernel.cost_at fig2_scenario ~n:32 ~r))
                kernel_grid));
+      (* the same sweep through the query engine: the planner layer
+         (query validation, backend choice, provenance) must be free
+         next to the kernel it routes to *)
+      Test.make ~name:"kernel/cost-sweep-engine"
+        (stage (fun () ->
+             ignore
+               (Engine.Planner.eval
+                  (Engine.Query.r_sweep Engine.Query.Mean_cost fig2_scenario
+                     ~n:32 ~rs:kernel_grid))));
       (* ablation A1b: float vs log-space cost evaluation *)
       Test.make ~name:"ablate/cost-float"
         (stage (fun () ->
@@ -556,7 +565,7 @@ let bench_tests =
       Test.make ~name:"ext/pareto-front"
         (stage (fun () ->
              ignore
-               (Zeroconf.Tradeoff.front ~n_max:8 ~r_points:60 ~r_max:6.
+               (Engine.Tradeoff.front ~n_max:8 ~r_points:60 ~r_max:6.
                   fig2_scenario)));
       (* ablation A1c: dense LU vs sparse Jacobi on a 300-state chain *)
       (let n = 300 in
@@ -786,7 +795,33 @@ let smoke () =
       assert (Zeroconf.Kernel.log10_error_at fig2_scenario ~n ~r
               = Zeroconf.Reliability.log10_error_probability fig2_scenario ~n ~r))
     [ (1, 0.3); (4, 2.); (8, 0.7); (64, 1.1); (512, 0.05) ];
-  print_endline "smoke ok: kernel scans bit-identical to direct evaluation"
+  print_endline "smoke ok: kernel scans bit-identical to direct evaluation";
+  (* query engine: the planner's default route must reproduce the
+     direct evaluation bit for bit, and the crosscheck must hold all
+     deterministic routes within 1e-9 on every preset *)
+  let module Q = Engine.Query in
+  let module A = Engine.Answer in
+  let planner_value qty p ~n ~r =
+    A.scalar (Engine.Planner.eval (Q.point qty p ~n ~r)).A.points.(0)
+  in
+  List.iter
+    (fun (_, p) ->
+      List.iter
+        (fun (n, r) ->
+          assert (planner_value Q.Mean_cost p ~n ~r = Zeroconf.Cost.mean p ~n ~r);
+          assert (planner_value Q.Error_probability p ~n ~r
+                  = Zeroconf.Reliability.error_probability p ~n ~r))
+        [ (1, 0.5); (4, 2.); (8, 0.7) ])
+    Zeroconf.Params.presets;
+  print_endline "smoke ok: planner routes bit-identical to direct evaluation";
+  List.iter
+    (fun (name, p) ->
+      let rep = Engine.Crosscheck.run ~trials:500 (Q.point Q.Mean_cost p ~n:4 ~r:2.) in
+      assert (List.length rep.Engine.Crosscheck.answers = 4);
+      assert (rep.Engine.Crosscheck.max_rel_divergence <= 1e-9);
+      Printf.printf "smoke ok: crosscheck %s (max divergence %.2e)\n" name
+        rep.Engine.Crosscheck.max_rel_divergence)
+    Zeroconf.Params.presets
 
 let run_benchmarks () =
   section "Bechamel timings (per run, OLS estimate)";

@@ -1,0 +1,31 @@
+(* Shared --jobs/-j/ZEROCONF_JOBS plumbing for the zeroconf executables.
+
+   Folded into every subcommand's term; the default pins jobs = 1
+   (serial) unless ZEROCONF_JOBS is set, keeping the golden CLI and
+   figure outputs byte-identical — parallel results are bit-identical
+   anyway, this just avoids spawning domains nobody asked for. *)
+
+let jobs_term =
+  Cmdliner.Arg.(
+    value & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for parallel sweeps (default: \
+              $(b,ZEROCONF_JOBS) if set, else 1).")
+
+let check_jobs = function
+  | Some jobs when jobs < 1 ->
+      Some (Printf.sprintf "option '--jobs': %d is not a positive integer" jobs)
+  | _ -> None
+
+let apply_jobs = function
+  | Some jobs -> Exec.Pool.set_jobs jobs
+  | None -> if Sys.getenv_opt "ZEROCONF_JOBS" = None then Exec.Pool.set_jobs 1
+
+(* [with_jobs jobs k] validates and applies the worker count, then runs
+   [k]; returns a [`Error] for cmdliner's [Term.ret] on a bad count. *)
+let with_jobs jobs k =
+  match check_jobs jobs with
+  | Some msg -> `Error (false, msg)
+  | None ->
+      apply_jobs jobs;
+      k ()

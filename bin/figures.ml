@@ -4,17 +4,17 @@
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
-let axis_of_figure (fig : Zeroconf.Experiments.figure) =
+let axis_of_figure (fig : Engine.Experiments.figure) =
   let xs =
     Array.concat
       (List.map
-         (fun (s : Zeroconf.Experiments.series) -> Array.map fst s.points)
+         (fun (s : Engine.Experiments.series) -> Array.map fst s.points)
          fig.series)
   in
   let ys =
     Array.concat
       (List.map
-         (fun (s : Zeroconf.Experiments.series) -> Array.map snd s.points)
+         (fun (s : Engine.Experiments.series) -> Array.map snd s.points)
          fig.series)
   in
   let x_axis = Output.Axis.of_data ~pad:0. xs in
@@ -30,7 +30,7 @@ let axis_of_figure (fig : Zeroconf.Experiments.figure) =
   in
   (x_axis, y_axis)
 
-let render_figure ~out_dir (fig : Zeroconf.Experiments.figure) =
+let render_figure ~out_dir (fig : Engine.Experiments.figure) =
   let x_axis, y_axis = axis_of_figure fig in
   let chart =
     { Output.Chart.title = fig.title;
@@ -40,7 +40,7 @@ let render_figure ~out_dir (fig : Zeroconf.Experiments.figure) =
       y_axis;
       series =
         List.map
-          (fun (s : Zeroconf.Experiments.series) ->
+          (fun (s : Engine.Experiments.series) ->
             Output.Chart.series ~label:s.label s.points)
           fig.series }
   in
@@ -49,44 +49,37 @@ let render_figure ~out_dir (fig : Zeroconf.Experiments.figure) =
   Output.Chart.save chart svg_path;
   Output.Csv.write_series ~path:csv_path ~x_label:fig.x_label
     (List.map
-       (fun (s : Zeroconf.Experiments.series) -> (s.label, s.points))
+       (fun (s : Engine.Experiments.series) -> (s.label, s.points))
        fig.series);
   print_string
     (Output.Ascii_chart.plot ~x_axis ~y_axis ~title:fig.title
        (List.map
-          (fun (s : Zeroconf.Experiments.series) -> (s.label, s.points))
+          (fun (s : Engine.Experiments.series) -> (s.label, s.points))
           fig.series));
   Printf.printf "wrote %s and %s\n\n" svg_path csv_path
 
 (* bonus: the (n, r) cost landscape as a heatmap (log10 of Eq. 3) *)
 let render_landscape ~out_dir =
-  let surface = Zeroconf.Experiments.cost_landscape () in
+  let surface = Engine.Experiments.cost_landscape () in
   let heatmap =
     { Output.Heatmap.title = "log10 C(n, r) landscape (figure2 scenario)";
       x_label = "r (s)";
       y_label = "n";
-      x_ticks = Array.map (Printf.sprintf "%.2g") surface.Zeroconf.Experiments.rs;
-      y_ticks = Array.map string_of_int surface.Zeroconf.Experiments.ns;
-      values = surface.Zeroconf.Experiments.log10_cost }
+      x_ticks = Array.map (Printf.sprintf "%.2g") surface.Engine.Experiments.rs;
+      y_ticks = Array.map string_of_int surface.Engine.Experiments.ns;
+      values = surface.Engine.Experiments.log10_cost }
   in
   let path = Filename.concat out_dir "cost_landscape.svg" in
   Output.Heatmap.save heatmap path;
   Printf.printf "wrote %s\n" path
 
 let generate out_dir jobs =
-  match jobs with
-  | Some j when j < 1 ->
-      `Error
-        (false, Printf.sprintf "option '--jobs': %d is not a positive integer" j)
-  | _ ->
-      (match jobs with
-      | Some j -> Exec.Pool.set_jobs j
-      | None -> if Sys.getenv_opt "ZEROCONF_JOBS" = None then Exec.Pool.set_jobs 1);
-      ensure_dir out_dir;
-      List.iter (render_figure ~out_dir) (Zeroconf.Experiments.all_figures ());
-      List.iter (render_figure ~out_dir) (Zeroconf.Experiments.extension_figures ());
-      render_landscape ~out_dir;
-      `Ok ()
+  Cli_common.with_jobs jobs @@ fun () ->
+  ensure_dir out_dir;
+  List.iter (render_figure ~out_dir) (Engine.Experiments.all_figures ());
+  List.iter (render_figure ~out_dir) (Engine.Experiments.extension_figures ());
+  render_landscape ~out_dir;
+  `Ok ()
 
 let () =
   let open Cmdliner in
@@ -94,15 +87,9 @@ let () =
     Arg.(value & pos 0 string "out"
          & info [] ~docv:"OUT_DIR" ~doc:"Directory to write SVG/CSV into.")
   in
-  let jobs =
-    Arg.(value & opt (some int) None
-         & info [ "jobs"; "j" ] ~docv:"N"
-             ~doc:"Worker domains for the figure sweeps (default: \
-                   $(b,ZEROCONF_JOBS) if set, else 1).")
-  in
   let cmd =
     Cmd.v
       (Cmd.info "figures" ~doc:"Regenerate every figure of the paper into OUT_DIR.")
-      Term.(ret (const generate $ out_dir $ jobs))
+      Term.(ret (const generate $ out_dir $ Cli_common.jobs_term))
   in
   exit (Cmd.eval cmd)

@@ -6,25 +6,9 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Scenario construction from flags                                    *)
 
-(* Worker-domain count for the parallel sweeps.  Folded into
-   [scenario_term] so every subcommand accepts it; the default pins
-   jobs = 1 (serial) unless ZEROCONF_JOBS is set, keeping the golden
-   CLI outputs byte-identical — parallel results are bit-identical
-   anyway, this just avoids spawning domains nobody asked for. *)
-let jobs_term =
-  Arg.(value & opt (some int) None
-       & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Worker domains for parallel sweeps (default: \
-                 $(b,ZEROCONF_JOBS) if set, else 1).")
-
-let apply_jobs = function
-  | Some jobs -> Exec.Pool.set_jobs jobs
-  | None -> if Sys.getenv_opt "ZEROCONF_JOBS" = None then Exec.Pool.set_jobs 1
-
-let check_jobs = function
-  | Some jobs when jobs < 1 ->
-      Some (Printf.sprintf "option '--jobs': %d is not a positive integer" jobs)
-  | _ -> None
+(* Worker-domain count for the parallel sweeps lives in [Cli_common]
+   (shared with bin/figures.ml) and is folded into [scenario_term] so
+   every subcommand accepts it. *)
 
 let scenario_term =
   let preset =
@@ -32,19 +16,22 @@ let scenario_term =
       "Named scenario: figure2, wireless-worst-case, wired-worst-case, or \
        realistic-ethernet.  Individual flags below override its fields."
     in
-    Arg.(value & opt string "figure2" & info [ "scenario" ] ~docv:"NAME" ~doc)
+    Arg.(value & opt string "figure2"
+         & info [ "scenario"; "preset" ] ~docv:"NAME" ~doc)
   in
   let loss =
     Arg.(value & opt (some float) None
          & info [ "loss" ] ~docv:"P" ~doc:"Permanent packet-loss probability 1-l.")
   in
+  (* long names deliberately avoid the 'r' prefix so that --r stays an
+     unambiguous abbreviation of --r-period in every subcommand *)
   let rate =
     Arg.(value & opt (some float) None
-         & info [ "rate" ] ~docv:"LAMBDA" ~doc:"Reply rate lambda (mean reply d + 1/lambda).")
+         & info [ "lambda" ] ~docv:"LAMBDA" ~doc:"Reply rate lambda (mean reply d + 1/lambda).")
   in
   let rtt =
     Arg.(value & opt (some float) None
-         & info [ "rtt" ] ~docv:"D" ~doc:"Round-trip delay d in seconds.")
+         & info [ "delay" ] ~docv:"D" ~doc:"Round-trip delay d in seconds.")
   in
   let hosts =
     Arg.(value & opt (some int) None
@@ -59,10 +46,7 @@ let scenario_term =
          & info [ "error-cost"; "E" ] ~docv:"E" ~doc:"Cost of an accepted address collision.")
   in
   let build jobs preset loss rate rtt hosts probe_cost error_cost =
-    match check_jobs jobs with
-    | Some msg -> `Error (false, msg)
-    | None ->
-    apply_jobs jobs;
+    Cli_common.with_jobs jobs @@ fun () ->
     match List.assoc_opt preset Zeroconf.Params.presets with
     | None ->
         `Error
@@ -92,14 +76,16 @@ let scenario_term =
         in
         `Ok p
   in
-  Term.(ret (const build $ jobs_term $ preset $ loss $ rate $ rtt $ hosts
-             $ probe_cost $ error_cost))
+  Term.(ret (const build $ Cli_common.jobs_term $ preset $ loss $ rate $ rtt
+             $ hosts $ probe_cost $ error_cost))
 
 let n_term =
-  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of ARP probes.")
+  Arg.(value & opt int 4
+       & info [ "n"; "n-probes" ] ~docv:"N" ~doc:"Number of ARP probes.")
 
 let r_term =
-  Arg.(value & opt float 2. & info [ "r" ] ~docv:"R" ~doc:"Listening period in seconds.")
+  Arg.(value & opt float 2.
+       & info [ "r"; "r-period" ] ~docv:"R" ~doc:"Listening period in seconds.")
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -308,7 +294,7 @@ let refine_cmd =
 
 let pareto_cmd =
   let run p =
-    let front = Zeroconf.Tradeoff.front p in
+    let front = Engine.Tradeoff.front p in
     Format.printf "Pareto front over (mean cost, error probability): %d designs@.@."
       (List.length front);
     let table =
@@ -319,20 +305,20 @@ let pareto_cmd =
     in
     let step = max 1 (List.length front / 20) in
     List.iteri
-      (fun i (d : Zeroconf.Tradeoff.design) ->
+      (fun i (d : Engine.Tradeoff.design) ->
         if i mod step = 0 then
           Output.Table.add_row table
-            [ string_of_int d.Zeroconf.Tradeoff.n;
-              Printf.sprintf "%.3f" d.Zeroconf.Tradeoff.r;
-              Printf.sprintf "%.3f" d.Zeroconf.Tradeoff.cost;
-              Printf.sprintf "%.1f" d.Zeroconf.Tradeoff.log10_error ])
+            [ string_of_int d.Engine.Tradeoff.n;
+              Printf.sprintf "%.3f" d.Engine.Tradeoff.r;
+              Printf.sprintf "%.3f" d.Engine.Tradeoff.cost;
+              Printf.sprintf "%.1f" d.Engine.Tradeoff.log10_error ])
       front;
     print_string (Output.Table.to_text table);
-    match Zeroconf.Tradeoff.knee front with
+    match Engine.Tradeoff.knee front with
     | Some k ->
         Format.printf "@.knee (best compromise): n = %d, r = %.3f (cost %.3f, log10 error %.1f)@."
-          k.Zeroconf.Tradeoff.n k.Zeroconf.Tradeoff.r k.Zeroconf.Tradeoff.cost
-          k.Zeroconf.Tradeoff.log10_error
+          k.Engine.Tradeoff.n k.Engine.Tradeoff.r k.Engine.Tradeoff.cost
+          k.Engine.Tradeoff.log10_error
     | None -> ()
   in
   Cmd.v
@@ -572,11 +558,182 @@ let report_cmd =
   let draft_r =
     Arg.(value & opt float 2. & info [ "draft-r" ] ~doc:"Draft listening period.")
   in
-  let run p draft_n draft_r = Zeroconf.Report.print ~draft_n ~draft_r p in
+  let run p draft_n draft_r = Engine.Report.print ~draft_n ~draft_r p in
   Cmd.v
     (Cmd.info "report"
        ~doc:"One-page Markdown design report for a scenario (optimum, frontier, sensitivities).")
     Term.(const run $ scenario_term $ draft_n $ draft_r)
+
+(* ------------------------------------------------------------------ *)
+(* Query-engine commands                                               *)
+
+let quantity_conv name =
+  match Engine.Query.quantity_of_name name with
+  | Some q -> `Ok q
+  | None ->
+      `Error
+        (false,
+         Printf.sprintf
+           "unknown quantity %s (try cost, error, log10-error, variance, \
+            latency)"
+           name)
+
+let pp_answer_value ppf (v : Engine.Answer.value) =
+  match v with
+  | Engine.Answer.Scalar x -> Format.fprintf ppf "%.10g" x
+  | Engine.Answer.Interval { mean; ci_lo; ci_hi } ->
+      Format.fprintf ppf "%.6g [%.6g, %.6g]" mean ci_lo ci_hi
+
+let print_provenance (a : Engine.Answer.t) =
+  Format.printf "backend = %s, evals = %d, wall = %.3f ms@." a.Engine.Answer.backend
+    a.Engine.Answer.evals
+    (Int64.to_float a.Engine.Answer.wall_ns /. 1e6)
+
+let query_cmd =
+  let quantity =
+    Arg.(value & opt string "cost"
+         & info [ "quantity" ] ~docv:"Q"
+             ~doc:"Quantity to evaluate: cost, error, log10-error, variance, \
+                   or latency.")
+  in
+  let backend =
+    Arg.(value & opt (some string) None
+         & info [ "backend" ] ~docv:"B"
+             ~doc:"Force a backend (analytic, kernel, dtmc, mc) instead of \
+                   letting the planner choose.")
+  in
+  let trials =
+    Arg.(value & opt int Engine.Crosscheck.default_trials
+         & info [ "trials" ] ~doc:"Monte-Carlo trials (mc backend).")
+  in
+  let seed =
+    Arg.(value & opt int Engine.Crosscheck.default_seed
+         & info [ "seed" ] ~doc:"Monte-Carlo RNG seed (mc backend).")
+  in
+  (* long names avoid the 'n'/'r' prefixes so that --n / --r stay
+     unambiguous abbreviations of --n-probes / --r-period here *)
+  let r_sweep =
+    Arg.(value & opt (some (t3 float float int)) None
+         & info [ "sweep-r" ] ~docv:"LO,HI,POINTS"
+             ~doc:"Sweep r over a linear grid instead of the single point.")
+  in
+  let n_max =
+    Arg.(value & opt (some int) None
+         & info [ "sweep-n" ] ~docv:"N"
+             ~doc:"Sweep n over 1..N instead of the single point.")
+  in
+  let run p n r quantity backend trials seed r_sweep n_max =
+    match quantity_conv quantity with
+    | `Error _ as e -> e
+    | `Ok qty -> (
+        let accuracy =
+          if backend = Some "mc" then
+            Engine.Query.Sampled { trials; seed }
+          else Engine.Query.Exact
+        in
+        match
+          let q =
+            match (r_sweep, n_max) with
+            | Some (lo, hi, points), _ ->
+                Engine.Query.r_sweep ~accuracy qty p ~n
+                  ~rs:(Numerics.Grid.linspace lo hi points)
+            | None, Some n_max ->
+                Engine.Query.n_sweep ~accuracy qty p
+                  ~ns:(Array.init n_max (fun i -> i + 1))
+                  ~r
+            | None, None -> Engine.Query.point ~accuracy qty p ~n ~r
+          in
+          Engine.Planner.eval ?backend q
+        with
+        | a ->
+            Format.printf "%s of %s@."
+              (Engine.Query.quantity_name qty)
+              p.Zeroconf.Params.name;
+            Array.iter
+              (fun (pt : Engine.Answer.point) ->
+                Format.printf "  n = %-4d r = %-8g %a@." pt.Engine.Answer.n
+                  pt.Engine.Answer.r pp_answer_value pt.Engine.Answer.value)
+              a.Engine.Answer.points;
+            print_provenance a;
+            `Ok ()
+        | exception Engine.Planner.Unsupported msg -> `Error (false, msg)
+        | exception Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Evaluate any model quantity through the backend-agnostic query \
+             engine (with provenance).")
+    Term.(ret (const run $ scenario_term $ n_term $ r_term $ quantity $ backend
+               $ trials $ seed $ r_sweep $ n_max))
+
+let crosscheck_cmd =
+  let quantity =
+    Arg.(value & opt (some string) None
+         & info [ "quantity" ] ~docv:"Q"
+             ~doc:"Single quantity to cross-check (default: cost and error).")
+  in
+  let trials =
+    Arg.(value & opt int Engine.Crosscheck.default_trials
+         & info [ "trials" ] ~doc:"Monte-Carlo trials.")
+  in
+  let seed =
+    Arg.(value & opt int Engine.Crosscheck.default_seed
+         & info [ "seed" ] ~doc:"Monte-Carlo RNG seed.")
+  in
+  let run p n r quantity trials seed =
+    let quantities =
+      match quantity with
+      | None -> `Ok [ Engine.Query.Mean_cost; Engine.Query.Error_probability ]
+      | Some name -> (
+          match quantity_conv name with
+          | `Ok q -> `Ok [ q ]
+          | `Error _ as e -> e)
+    in
+    match quantities with
+    | `Error _ as e -> e
+    | `Ok quantities ->
+        List.iter
+          (fun qty ->
+            let q = Engine.Query.point qty p ~n ~r in
+            let rep = Engine.Crosscheck.run ~trials ~seed q in
+            Format.printf "crosscheck: %a@." Engine.Query.pp q;
+            let table =
+              Output.Table.create
+                ~columns:
+                  [ ("backend", Output.Table.Left);
+                    ("value", Output.Table.Right);
+                    ("evals", Output.Table.Right);
+                    ("wall (ms)", Output.Table.Right) ]
+            in
+            List.iter
+              (fun (a : Engine.Answer.t) ->
+                Output.Table.add_row table
+                  [ a.Engine.Answer.backend;
+                    Format.asprintf "%a" pp_answer_value
+                      a.Engine.Answer.points.(0).Engine.Answer.value;
+                    string_of_int a.Engine.Answer.evals;
+                    Printf.sprintf "%.3f"
+                      (Int64.to_float a.Engine.Answer.wall_ns /. 1e6) ])
+              rep.Engine.Crosscheck.answers;
+            print_string (Output.Table.to_text table);
+            Format.printf
+              "max relative divergence (analytic/kernel/dtmc) = %.3g@."
+              rep.Engine.Crosscheck.max_rel_divergence;
+            (match rep.Engine.Crosscheck.mc_covered with
+            | Some covered ->
+                Format.printf "monte carlo inside its 95%% CI: %b@." covered
+            | None ->
+                Format.printf "monte carlo: not applicable to this quantity@.");
+            Format.printf "@.")
+          quantities;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "crosscheck"
+       ~doc:"Run one query on every capable backend and report the maximum \
+             relative divergence.")
+    Term.(ret (const run $ scenario_term $ n_term $ r_term $ quantity $ trials
+               $ seed))
 
 let () =
   let info =
@@ -589,4 +746,4 @@ let () =
           [ cost_cmd; optimal_r_cmd; optimal_n_cmd; assess_cmd; nu_cmd;
             calibrate_cmd; simulate_cmd; curve_cmd; latency_cmd; refine_cmd;
             pareto_cmd; maintenance_cmd; export_cmd; workload_cmd; adaptive_cmd;
-            report_cmd; fit_cmd; check_cmd ]))
+            report_cmd; fit_cmd; check_cmd; query_cmd; crosscheck_cmd ]))

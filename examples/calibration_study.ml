@@ -9,7 +9,7 @@ let () =
   Format.printf
     "Sec. 4.5 inverse problem: find (E, c) such that the draft's (n, r)@.\
      minimizes the mean total cost.@.@.";
-  let rows = Zeroconf.Experiments.section_45 () in
+  let rows = Engine.Experiments.section_45 () in
   let table =
     Output.Table.create
       ~columns:
@@ -19,7 +19,7 @@ let () =
           ("opt under (E, c)", Output.Table.Left) ]
   in
   List.iter
-    (fun (row : Zeroconf.Experiments.calibration_row) ->
+    (fun (row : Engine.Experiments.calibration_row) ->
       let d = row.derived in
       Output.Table.add_row table
         [ row.label;

@@ -40,18 +40,18 @@ let () =
   (* The cost/reliability frontier, so the designer can see what the
      impatience is buying. *)
   Format.printf "@.Pareto frontier (cost vs reliability), every 30th design:@.";
-  let front = Zeroconf.Tradeoff.front ~n_max:10 ~r_points:150 ~r_max:6. scenario in
+  let front = Engine.Tradeoff.front ~n_max:10 ~r_points:150 ~r_max:6. scenario in
   List.iteri
-    (fun i (d : Zeroconf.Tradeoff.design) ->
+    (fun i (d : Engine.Tradeoff.design) ->
       if i mod 30 = 0 then
         Format.printf "  n = %2d, r = %5.2f: cost %7.2f, error 1e%.0f@."
-          d.Zeroconf.Tradeoff.n d.Zeroconf.Tradeoff.r d.Zeroconf.Tradeoff.cost
-          d.Zeroconf.Tradeoff.log10_error)
+          d.Engine.Tradeoff.n d.Engine.Tradeoff.r d.Engine.Tradeoff.cost
+          d.Engine.Tradeoff.log10_error)
     front;
-  match Zeroconf.Tradeoff.knee front with
+  match Engine.Tradeoff.knee front with
   | Some k ->
       Format.printf
         "@.knee of the frontier: n = %d, r = %.2f -- the compromise a designer@.\
          would pick without a cost model; the paper's machinery justifies it.@."
-        k.Zeroconf.Tradeoff.n k.Zeroconf.Tradeoff.r
+        k.Engine.Tradeoff.n k.Engine.Tradeoff.r
   | None -> ()

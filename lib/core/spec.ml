@@ -10,12 +10,12 @@ let defend_interval = 10.
 
 let model_parameters () = (probe_num, 0.5 *. (probe_min +. probe_max))
 
-let simulator_config () =
+let simulator_config (p : Params.t) =
   { Netsim.Newcomer.probes = probe_num;
     listen = 0.5 *. (probe_min +. probe_max);
     listen_jitter = Some (probe_min, probe_max);
-    probe_cost = 0.;
-    error_cost = 0.;
+    probe_cost = p.probe_cost;
+    error_cost = p.error_cost;
     immediate_abort = true;
     rate_limit = Some (max_conflicts, rate_limit_interval);
     avoid_failed = true;

@@ -39,7 +39,9 @@ val model_parameters : unit -> int * float
     — which is 1.5 s, though the paper rounds to its [r = 2] worst
     case.  Returned as [(4, 1.5)]. *)
 
-val simulator_config : unit -> Netsim.Newcomer.config
+val simulator_config : Params.t -> Netsim.Newcomer.config
 (** The draft, faithfully: [PROBE_NUM] probes, spacing jittered
     uniformly in [\[PROBE_MIN, PROBE_MAX\]], immediate abort, failed
-    addresses avoided, rate limiting after [MAX_CONFLICTS]. *)
+    addresses avoided, rate limiting after [MAX_CONFLICTS].  Probe and
+    error costs come from the scenario so simulator-route cost
+    estimates are comparable to the analytic routes. *)

@@ -1,0 +1,34 @@
+type value =
+  | Scalar of float
+  | Interval of { mean : float; ci_lo : float; ci_hi : float }
+
+type point = { n : int; r : float; value : value }
+
+type t = {
+  backend : string;
+  evals : int;
+  wall_ns : int64;
+  points : point array;
+}
+
+let scalar pt =
+  match pt.value with Scalar x -> x | Interval { mean; _ } -> mean
+
+let ci pt =
+  match pt.value with
+  | Scalar _ -> None
+  | Interval { ci_lo; ci_hi; _ } -> Some (ci_lo, ci_hi)
+
+let pp_value ppf = function
+  | Scalar x -> Format.fprintf ppf "%.17g" x
+  | Interval { mean; ci_lo; ci_hi } ->
+      Format.fprintf ppf "%.6g [%.6g, %.6g]" mean ci_lo ci_hi
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d point%s, %d evals, %.3f ms" t.backend
+    (Array.length t.points)
+    (if Array.length t.points = 1 then "" else "s")
+    t.evals
+    (Int64.to_float t.wall_ns /. 1e6);
+  if Array.length t.points = 1 then
+    Format.fprintf ppf " -> %a" pp_value t.points.(0).value

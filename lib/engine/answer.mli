@@ -1,0 +1,34 @@
+(** Provenance-tagged query results.
+
+    Every backend returns the same shape: one {!point} per domain
+    point, plus the provenance trio — which backend ran, how many
+    elementary evaluations it performed, and the wall-clock time.
+    "Elementary evaluation" is backend-specific: closed-form calls for
+    [Analytic], survival-function steps for [Kernel], matrix builds +
+    solves for [Dtmc], and simulation trials for [Mc] — comparable
+    within a backend, indicative across them. *)
+
+type value =
+  | Scalar of float
+      (** Deterministic routes: the value, to full float precision. *)
+  | Interval of { mean : float; ci_lo : float; ci_hi : float }
+      (** Monte-Carlo routes: point estimate with a 95% confidence
+          interval. *)
+
+type point = { n : int; r : float; value : value }
+
+type t = {
+  backend : string;   (** {!Backend.S.name} of the route that ran. *)
+  evals : int;        (** Elementary evaluations performed. *)
+  wall_ns : int64;    (** Wall-clock nanoseconds spent in [eval]. *)
+  points : point array;  (** One per domain point, in sweep order. *)
+}
+
+val scalar : point -> float
+(** The point estimate: the scalar itself, or the interval's mean. *)
+
+val ci : point -> (float * float) option
+(** The confidence interval, when the value carries one. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+module type S = sig
+  val name : string
+  val supports : Query.t -> bool
+  val eval : ?pool:Exec.Pool.t -> Query.t -> Answer.t
+end

@@ -1,0 +1,16 @@
+(** The contract every evaluation route implements. *)
+
+module type S = sig
+  val name : string
+  (** Stable identifier: ["analytic"], ["kernel"], ["dtmc"] or ["mc"]. *)
+
+  val supports : Query.t -> bool
+  (** Whether this route can answer the query — quantity, domain and
+      accuracy demand all considered.  [eval] on an unsupported query
+      raises [Invalid_argument]. *)
+
+  val eval : ?pool:Exec.Pool.t -> Query.t -> Answer.t
+  (** Answer the query.  Sweeps fan out over [pool] (default:
+      {!Exec.Pool.get}) where the route parallelizes; results are
+      bit-identical at every job count. *)
+end

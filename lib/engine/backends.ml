@@ -1,0 +1,223 @@
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let t1 = Unix.gettimeofday () in
+  (x, Int64.of_float (Float.max 0. ((t1 -. t0) *. 1e9)))
+
+let answer ~backend ~evals ~wall_ns points =
+  { Answer.backend; evals; wall_ns; points }
+
+let scalar_points q values =
+  Array.map2
+    (fun (n, r) v -> { Answer.n; r; value = Answer.Scalar v })
+    (Query.points q) values
+
+let not_sampled (q : Query.t) =
+  match q.accuracy with Query.Sampled _ -> false | _ -> true
+
+module Analytic = struct
+  let name = "analytic"
+
+  let supports (q : Query.t) =
+    not_sampled q
+    &&
+    match q.quantity with
+    | Query.Mean_cost | Query.Error_probability | Query.Log10_error
+    | Query.Latency_mean ->
+        true
+    | Query.Cost_variance -> false
+
+  let eval1 (q : Query.t) n r =
+    let p = q.scenario in
+    match q.quantity with
+    | Query.Mean_cost -> Zeroconf.Cost.mean p ~n ~r
+    | Query.Error_probability -> Zeroconf.Reliability.error_probability p ~n ~r
+    | Query.Log10_error -> Zeroconf.Reliability.log10_error_probability p ~n ~r
+    | Query.Latency_mean ->
+        Zeroconf.Latency.mean (Zeroconf.Latency.periods p ~n ~r)
+    | Query.Cost_variance ->
+        invalid_arg "Backends.Analytic: cost variance is DRM-only"
+
+  let eval ?pool (q : Query.t) =
+    if not (supports q) then invalid_arg "Backends.Analytic: unsupported query";
+    Query.validate q;
+    let pts = Query.points q in
+    let values, wall_ns =
+      time_ns (fun () -> Exec.Parallel.map ?pool (fun (n, r) -> eval1 q n r) pts)
+    in
+    answer ~backend:name ~evals:(Array.length pts) ~wall_ns
+      (scalar_points q values)
+end
+
+module Kernel = struct
+  let name = "kernel"
+
+  let supports (q : Query.t) =
+    not_sampled q
+    &&
+    match q.quantity with
+    | Query.Mean_cost | Query.Error_probability | Query.Log10_error -> true
+    | Query.Cost_variance | Query.Latency_mean -> false
+
+  let one_shot (q : Query.t) ~n ~r =
+    let p = q.scenario in
+    match q.quantity with
+    | Query.Mean_cost -> Zeroconf.Kernel.cost_at p ~n ~r
+    | Query.Error_probability -> Zeroconf.Kernel.error_probability_at p ~n ~r
+    | Query.Log10_error -> Zeroconf.Kernel.log10_error_at p ~n ~r
+    | _ -> invalid_arg "Backends.Kernel: unsupported quantity"
+
+  let read (q : Query.t) k =
+    match q.quantity with
+    | Query.Mean_cost -> Zeroconf.Kernel.cost k
+    | Query.Error_probability -> Zeroconf.Kernel.error_probability k
+    | Query.Log10_error -> Zeroconf.Kernel.log10_error k
+    | _ -> invalid_arg "Backends.Kernel: unsupported quantity"
+
+  let eval ?pool (q : Query.t) =
+    if not (supports q) then invalid_arg "Backends.Kernel: unsupported query";
+    Query.validate q;
+    match q.domain with
+    | Query.Point { n; r } ->
+        let v, wall_ns = time_ns (fun () -> one_shot q ~n ~r) in
+        answer ~backend:name ~evals:n ~wall_ns
+          [| { Answer.n; r; value = Answer.Scalar v } |]
+    | Query.R_sweep { n; rs } ->
+        (* the figure builders' historical sweep, verbatim: one one-shot
+           cursor per grid point, fanned out over the pool *)
+        let pairs, wall_ns =
+          time_ns (fun () ->
+              Exec.Parallel.map_sweep ?pool (fun r -> one_shot q ~n ~r) rs)
+        in
+        let points =
+          Array.map
+            (fun (r, v) -> { Answer.n; r; value = Answer.Scalar v })
+            pairs
+        in
+        answer ~backend:name ~evals:(n * Array.length rs) ~wall_ns points
+    | Query.N_sweep { ns; r } ->
+        (* one forward cursor serves the whole sweep: visit the probe
+           counts in ascending order, scatter back to sweep order *)
+        let count = Array.length ns in
+        let order = Array.init count Fun.id in
+        Array.sort (fun i j -> compare ns.(i) ns.(j)) order;
+        let values = Array.make count 0. in
+        let (), wall_ns =
+          time_ns (fun () ->
+              let k = Zeroconf.Kernel.create q.scenario ~r in
+              Array.iter
+                (fun i ->
+                  Zeroconf.Kernel.advance_to k ~n:ns.(i);
+                  values.(i) <- read q k)
+                order)
+        in
+        let points =
+          Array.mapi
+            (fun i n -> { Answer.n; r; value = Answer.Scalar values.(i) })
+            ns
+        in
+        answer ~backend:name ~evals:(Array.fold_left max 0 ns) ~wall_ns points
+end
+
+module Dtmc = struct
+  let name = "dtmc"
+
+  (* the (I - Q)^-1 solve is cubic in the state count n + 3 *)
+  let max_n = 512
+
+  let supports (q : Query.t) =
+    not_sampled q
+    && (match q.quantity with
+       | Query.Mean_cost | Query.Error_probability | Query.Log10_error
+       | Query.Cost_variance ->
+           true
+       | Query.Latency_mean -> false)
+    && Array.for_all (fun (n, _) -> n <= max_n) (Query.points q)
+
+  let eval1 (q : Query.t) n r =
+    let drm = Zeroconf.Drm.build q.scenario ~n ~r in
+    match q.quantity with
+    | Query.Mean_cost -> Zeroconf.Drm.mean_cost drm
+    | Query.Error_probability -> Zeroconf.Drm.error_probability drm
+    | Query.Log10_error -> Float.log10 (Zeroconf.Drm.error_probability drm)
+    | Query.Cost_variance -> Zeroconf.Drm.cost_variance drm
+    | Query.Latency_mean -> invalid_arg "Backends.Dtmc: no latency route"
+
+  let eval ?pool (q : Query.t) =
+    if not (supports q) then invalid_arg "Backends.Dtmc: unsupported query";
+    Query.validate q;
+    let pts = Query.points q in
+    let values, wall_ns =
+      time_ns (fun () -> Exec.Parallel.map ?pool (fun (n, r) -> eval1 q n r) pts)
+    in
+    answer ~backend:name ~evals:(Array.length pts) ~wall_ns
+      (scalar_points q values)
+end
+
+module Mc = struct
+  let name = "mc"
+
+  let supports (q : Query.t) =
+    (match q.accuracy with Query.Sampled _ -> true | _ -> false)
+    &&
+    match q.quantity with
+    | Query.Mean_cost | Query.Error_probability | Query.Latency_mean -> true
+    | Query.Log10_error | Query.Cost_variance -> false
+
+  let occupied_of (p : Zeroconf.Params.t) =
+    let size = Zeroconf.Params.address_space_size in
+    let m = int_of_float (Float.round (p.q *. float_of_int size)) in
+    max 0 (min (size - 1) m)
+
+  let eval1 (q : Query.t) ~trials ~seed index n r =
+    let p = q.scenario in
+    (* independent deterministic stream per sweep point, so sweeps can
+       fan out over the pool without sharing an rng *)
+    let rng = Numerics.Rng.create (seed + (7919 * index)) in
+    let config =
+      Netsim.Newcomer.drm_config ~n ~r ~probe_cost:p.probe_cost
+        ~error_cost:p.error_cost
+    in
+    let outcomes =
+      Netsim.Scenario.run_aggregate ~delay:p.delay ~occupied:(occupied_of p)
+        ~config ~trials ~rng ()
+    in
+    match q.quantity with
+    | Query.Mean_cost ->
+        let agg = Netsim.Metrics.aggregate outcomes in
+        let ci_lo, ci_hi = agg.Netsim.Metrics.cost_ci in
+        Answer.Interval
+          { mean = agg.Netsim.Metrics.cost.Numerics.Stats.mean; ci_lo; ci_hi }
+    | Query.Error_probability ->
+        let agg = Netsim.Metrics.aggregate outcomes in
+        let ci_lo, ci_hi = agg.Netsim.Metrics.collision_ci in
+        Answer.Interval { mean = agg.Netsim.Metrics.collision_rate; ci_lo; ci_hi }
+    | Query.Latency_mean ->
+        let times =
+          Array.map
+            (fun (o : Netsim.Metrics.outcome) -> o.Netsim.Metrics.config_time)
+            outcomes
+        in
+        let mean = (Numerics.Stats.summarize times).Numerics.Stats.mean in
+        let ci_lo, ci_hi = Numerics.Stats.mean_ci times in
+        Answer.Interval { mean; ci_lo; ci_hi }
+    | _ -> invalid_arg "Backends.Mc: unsupported quantity"
+
+  let eval ?pool (q : Query.t) =
+    if not (supports q) then invalid_arg "Backends.Mc: unsupported query";
+    Query.validate q;
+    let trials, seed =
+      match q.accuracy with
+      | Query.Sampled { trials; seed } -> (trials, seed)
+      | _ -> assert false
+    in
+    let pts = Query.points q in
+    let values, wall_ns =
+      time_ns (fun () ->
+          Exec.Parallel.init ?pool (Array.length pts) (fun i ->
+              let n, r = pts.(i) in
+              eval1 q ~trials ~seed i n r))
+    in
+    let points = Array.map2 (fun (n, r) value -> { Answer.n; r; value }) pts values in
+    answer ~backend:name ~evals:(trials * Array.length pts) ~wall_ns points
+end

@@ -1,0 +1,24 @@
+(** The four evaluation routes, each behind the {!Backend.S} contract.
+
+    {ul
+    {- {!Analytic} — the paper's closed forms: [Cost.mean] (Eq. 3),
+       [Reliability] (Eq. 4 and its log10), [Latency] (mean
+       configuration time).  Exact; no variance route.}
+    {- {!Kernel} — streaming n-scan cursors ({!Zeroconf.Kernel}): the
+       same three quantities bit-identical to the closed forms, O(1)
+       amortized per probe count, survival memo shared per domain.
+       The cheapest route for points and sweeps.}
+    {- {!Dtmc} — builds the Sec. 4.1 DRM ({!Zeroconf.Drm}) and solves
+       [(I - Q)^-1] per point: the independent linear-algebra route,
+       and the only one for the cost variance.  Refuses probe counts
+       beyond an internal cap (the solve is cubic in [n]).}
+    {- {!Mc} — the Netsim Monte-Carlo route: samples reply delays from
+       the scenario's [F_X] under the DRM's period-boundary semantics
+       and reports 95% confidence intervals.  Only answers [Sampled]
+       queries; occupancy is [round (q * 65024)] hosts so [q] matches
+       {!Zeroconf.Params.q_of_hosts}.}} *)
+
+module Analytic : Backend.S
+module Kernel : Backend.S
+module Dtmc : Backend.S
+module Mc : Backend.S

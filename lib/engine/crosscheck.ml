@@ -1,0 +1,71 @@
+type report = {
+  query : Query.t;
+  answers : Answer.t list;
+  max_rel_divergence : float;
+  mc_covered : bool option;
+}
+
+let default_trials = 20_000
+let default_seed = 42
+
+let rel_divergence a b =
+  if a = b then 0.
+  else if not (Float.is_finite a && Float.is_finite b) then infinity
+  else
+    let denom = Float.max (Float.abs a) (Float.abs b) in
+    if denom = 0. then 0. else Float.abs (a -. b) /. denom
+
+let run ?pool ?(trials = default_trials) ?(seed = default_seed) (q : Query.t) =
+  Query.validate q;
+  let exact_q = { q with accuracy = Query.Exact } in
+  let exact_answers =
+    List.filter_map
+      (fun (module B : Backend.S) ->
+        if B.supports exact_q then Some (B.eval ?pool exact_q) else None)
+      [ (module Backends.Analytic); (module Backends.Kernel);
+        (module Backends.Dtmc) ]
+  in
+  let mc_q = { q with accuracy = Query.Sampled { trials; seed } } in
+  let mc_answer =
+    if Backends.Mc.supports mc_q then Some (Backends.Mc.eval ?pool mc_q)
+    else None
+  in
+  let size = Query.size q in
+  let max_rel = ref 0. in
+  List.iteri
+    (fun i (a : Answer.t) ->
+      List.iteri
+        (fun j (b : Answer.t) ->
+          if j > i then
+            for k = 0 to size - 1 do
+              max_rel :=
+                Float.max !max_rel
+                  (rel_divergence
+                     (Answer.scalar a.points.(k))
+                     (Answer.scalar b.points.(k)))
+            done)
+        exact_answers)
+    exact_answers;
+  let mc_covered =
+    match (mc_answer, exact_answers) with
+    | Some mc, reference :: _ ->
+        let ok = ref true in
+        for k = 0 to size - 1 do
+          let x = Answer.scalar reference.points.(k) in
+          match Answer.ci mc.points.(k) with
+          | Some (lo, hi) ->
+              (* the Wilson lower bound at 0 successes is ~0 up to fp
+                 noise; a hair of slack keeps exact-zero references in *)
+              let slack =
+                1e-12 *. Float.max 1. (Float.max (Float.abs lo) (Float.abs hi))
+              in
+              if not (x >= lo -. slack && x <= hi +. slack) then ok := false
+          | None -> ok := false
+        done;
+        Some !ok
+    | _ -> None
+  in
+  { query = q;
+    answers = exact_answers @ Option.to_list mc_answer;
+    max_rel_divergence = !max_rel;
+    mc_covered }

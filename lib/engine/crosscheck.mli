@@ -1,0 +1,38 @@
+(** Multi-route agreement: run one query on every backend that can
+    answer it and quantify how far the routes drift apart.
+
+    This generalizes the repository's historical three-way validation
+    table to {e any} query: the deterministic routes must agree to
+    float precision, and the Monte-Carlo estimate must cover the
+    deterministic value with its confidence interval. *)
+
+type report = {
+  query : Query.t;
+  answers : Answer.t list;
+      (** One per backend that ran, deterministic routes first
+          (analytic, kernel, dtmc in that order, those that support the
+          query), Monte Carlo last when applicable. *)
+  max_rel_divergence : float;
+      (** Max over all domain points and all pairs of deterministic
+          routes of [|a - b| / max |a| |b|] ([0.] when both are 0 or
+          the values are equal; [infinity] if exactly one is
+          non-finite). *)
+  mc_covered : bool option;
+      (** Whether the first deterministic answer lies inside the
+          Monte-Carlo confidence interval at every domain point;
+          [None] when no Monte-Carlo route applies (e.g. log10 error,
+          cost variance). *)
+}
+
+val default_trials : int
+(** 20_000. *)
+
+val default_seed : int
+(** 42. *)
+
+val rel_divergence : float -> float -> float
+(** The pairwise metric used for {!report.max_rel_divergence}. *)
+
+val run : ?pool:Exec.Pool.t -> ?trials:int -> ?seed:int -> Query.t -> report
+(** Evaluate [q] (its accuracy demand is ignored: deterministic routes
+    run [Exact], Monte Carlo runs [Sampled] with [trials]/[seed]). *)

@@ -1,0 +1,253 @@
+open Zeroconf
+
+type series = { label : string; points : (float * float) array }
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  log_y : bool;
+  y_min : float option;
+  y_max : float option;
+  series : series list;
+}
+
+let default_scenario () = Params.figure2
+let r_grid ~points ~lo ~hi = Numerics.Grid.linspace lo hi points
+
+(* Every figure below is a sweep of independent per-point evaluations.
+   The cost/error series route through the query engine — the planner
+   picks the streaming-kernel backend, whose r-sweeps are the
+   historical Exec.Parallel fan-out verbatim, so outputs stay
+   bit-identical at any job count.  The optimizer sweeps (figures 3, 4
+   and the fig. 6 envelope) stay on Optimize's kernel-backed n-scans,
+   which run under the same pool. *)
+let sweep f grid = Exec.Parallel.map_sweep f grid
+
+let series_points (a : Answer.t) =
+  Array.map (fun (pt : Answer.point) -> (pt.r, Answer.scalar pt)) a.points
+
+let cost_series p ~n grid =
+  { label = Printf.sprintf "C_%d" n;
+    points =
+      series_points (Planner.eval (Query.r_sweep Query.Mean_cost p ~n ~rs:grid)) }
+
+let figure2 ?scenario ?(points = 400) () =
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let grid = r_grid ~points ~lo:0.01 ~hi:4. in
+  { id = "fig2";
+    title = "Cost functions C_1 ... C_8";
+    x_label = "r (s)";
+    y_label = "mean total cost C_n(r)";
+    log_y = false;
+    y_min = Some 0.;
+    (* the paper's frame cuts off the astronomical n = 1, 2 curves *)
+    y_max = Some 100.;
+    series = List.map (fun n -> cost_series p ~n grid) (List.init 8 (fun i -> i + 1)) }
+
+let figure3 ?scenario ?(points = 600) () =
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let grid = r_grid ~points ~lo:0.02 ~hi:6. in
+  { id = "fig3";
+    title = "N(r): optimal number of probes for given r";
+    x_label = "r (s)";
+    y_label = "N(r)";
+    log_y = false;
+    y_min = Some 0.;
+    y_max = None;
+    series =
+      [ { label = "N(r)";
+          points =
+            Array.map
+              (fun (r, (n, _)) -> (r, float_of_int n))
+              (Optimize.optimal_n_sweep p grid) } ] }
+
+let figure4 ?scenario ?(points = 600) () =
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let grid = r_grid ~points ~lo:0.02 ~hi:6. in
+  { id = "fig4";
+    title = "Minimal-cost function C_min(r)";
+    x_label = "r (s)";
+    y_label = "C_min(r)";
+    log_y = false;
+    y_min = Some 0.;
+    y_max = Some 100.;
+    series = [ { label = "C_min"; points = Optimize.lower_envelope p grid } ] }
+
+let error_series p ~n grid =
+  { label = Printf.sprintf "E(%d, r)" n;
+    points =
+      series_points
+        (Planner.eval (Query.r_sweep Query.Log10_error p ~n ~rs:grid)) }
+
+let figure5 ?scenario ?(points = 400) () =
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let grid = r_grid ~points ~lo:0.02 ~hi:6. in
+  { id = "fig5";
+    title = "Probability to reach state error";
+    x_label = "r (s)";
+    y_label = "log10 E(n, r)";
+    log_y = false (* ordinate is already log10 *);
+    y_min = Some (-60.);
+    y_max = Some 0.;
+    series = List.map (fun n -> error_series p ~n grid) (List.init 8 (fun i -> i + 1)) }
+
+let figure6 ?scenario ?(points = 400) () =
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let base = figure5 ?scenario ~points () in
+  let grid = r_grid ~points ~lo:0.02 ~hi:6. in
+  let envelope =
+    { label = "E(N(r), r)";
+      points = sweep (fun r -> Optimize.log10_error_under_optimal_n p ~r) grid }
+  in
+  { base with
+    id = "fig6";
+    title = "Error probability under cost-optimal n";
+    series = base.series @ [ envelope ] }
+
+let all_figures () =
+  [ figure2 (); figure3 (); figure4 (); figure5 (); figure6 () ]
+
+type landscape = {
+  ns : int array;
+  rs : float array;
+  log10_cost : float array array;
+}
+
+let cost_landscape ?scenario ?(n_max = 10) ?(r_points = 24) ?(r_lo = 0.25)
+    ?(r_hi = 6.) () =
+  if n_max < 1 then invalid_arg "Experiments.cost_landscape: n_max < 1";
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let ns = Array.init n_max (fun i -> i + 1) in
+  let rs = r_grid ~points:r_points ~lo:r_lo ~hi:r_hi in
+  (* one n-sweep query per column: the kernel backend streams a single
+     cursor over the whole n-range (n_max survival evaluations instead
+     of O(n_max^2)); columns fan out across the pool and transpose into
+     the n-major rows *)
+  let columns =
+    Exec.Parallel.map
+      (fun r ->
+        let a = Planner.eval (Query.n_sweep Query.Mean_cost p ~ns ~r) in
+        Array.map (fun pt -> log10 (Answer.scalar pt)) a.Answer.points)
+      rs
+  in
+  { ns;
+    rs;
+    log10_cost = Array.init n_max (fun i -> Array.map (fun col -> col.(i)) columns) }
+
+let latency_figure ?scenario () =
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let opt = Optimize.global_optimum p in
+  let r8 = (Optimize.optimal_r p ~n:8).Numerics.Minimize.x in
+  let designs =
+    [ (4, 2., "draft (4, 2)");
+      (opt.Optimize.n, opt.Optimize.r,
+       Printf.sprintf "optimal (%d, %.2f)" opt.Optimize.n opt.Optimize.r);
+      (8, r8, Printf.sprintf "fast (8, %.2f)" r8) ]
+  in
+  let grid = Numerics.Grid.linspace 0. 15. 301 in
+  let series =
+    List.map
+      (fun (n, r, label) ->
+        let dist = Latency.periods p ~n ~r in
+        { label; points = Array.map (fun t -> (t, Latency.cdf dist t)) grid })
+      designs
+  in
+  { id = "ext-latency";
+    title = "Configuration-time CDFs";
+    x_label = "seconds";
+    y_label = "P(configured by t)";
+    log_y = false;
+    y_min = Some 0.;
+    y_max = Some 1.02;
+    series }
+
+let pareto_figure ?scenario () =
+  let p = Option.value ~default:(default_scenario ()) scenario in
+  let front = Tradeoff.front ~n_max:10 ~r_points:150 ~r_max:6. p in
+  let points =
+    Array.of_list
+      (List.map (fun (d : Tradeoff.design) -> (d.Tradeoff.cost, d.Tradeoff.log10_error)) front)
+  in
+  { id = "ext-pareto";
+    title = "Cost/reliability Pareto front";
+    x_label = "mean total cost";
+    y_label = "log10 error probability";
+    log_y = false;
+    y_min = None;
+    y_max = None;
+    series = [ { label = "front"; points } ] }
+
+let extension_figures () = [ latency_figure (); pareto_figure () ]
+
+let section_44_nu () = Optimize.min_useful_probes (default_scenario ())
+
+type calibration_row = {
+  label : string;
+  target_n : int;
+  target_r : float;
+  paper_error_cost : float;
+  paper_probe_cost : float;
+  derived : Calibrate.result;
+}
+
+let section_45 () =
+  let wireless =
+    (* Sec. 4.5 network assumptions for r = 2, costs to be derived *)
+    Params.v ~name:"sec45-wireless"
+      ~delay:(Dist.Families.shifted_exponential ~mass:(1. -. 1e-5) ~rate:10. ~delay:1. ())
+      ~q:(Params.q_of_hosts 1000) ~probe_cost:0. ~error_cost:0.
+  in
+  let wired =
+    Params.v ~name:"sec45-wired"
+      ~delay:(Dist.Families.shifted_exponential ~mass:(1. -. 1e-10) ~rate:100. ~delay:0.1 ())
+      ~q:(Params.q_of_hosts 1000) ~probe_cost:0. ~error_cost:0.
+  in
+  [ { label = "r = 2 (unreliable/wireless)";
+      target_n = 4;
+      target_r = 2.;
+      paper_error_cost = 5e20;
+      paper_probe_cost = 3.5;
+      derived = Calibrate.run wireless ~n:4 ~r:2. };
+    { label = "r = 0.2 (reliable/wired)";
+      target_n = 4;
+      target_r = 0.2;
+      paper_error_cost = 1e35;
+      paper_probe_cost = 0.5;
+      derived = Calibrate.run wired ~n:4 ~r:0.2 } ]
+
+let section_6 () = Assessment.run Params.realistic_ethernet
+
+type validation_row = {
+  n : int;
+  r : float;
+  analytic_cost : float;
+  matrix_cost : float;
+  simulated_cost : Dtmc.Simulate.estimate;
+  analytic_error : float;
+  matrix_error : float;
+  simulated_error : Dtmc.Simulate.estimate;
+}
+
+let validation ?(trials = 20_000) ?(seed = 42) () =
+  (* Monte-Carlo-friendly scenario: frequent collisions, lossy probes,
+     moderate error cost, so simulation resolves both outputs. *)
+  let p =
+    Params.v ~name:"validation"
+      ~delay:(Dist.Families.shifted_exponential ~mass:0.9 ~rate:2. ~delay:0.5 ())
+      ~q:0.3 ~probe_cost:1. ~error_cost:100.
+  in
+  let rng = Numerics.Rng.create seed in
+  let row (n, r) =
+    let drm = Drm.build p ~n ~r in
+    { n;
+      r;
+      analytic_cost = Cost.mean p ~n ~r;
+      matrix_cost = Drm.mean_cost drm;
+      simulated_cost = Drm.simulate_cost ~trials ~rng drm;
+      analytic_error = Reliability.error_probability p ~n ~r;
+      matrix_error = Drm.error_probability drm;
+      simulated_error = Drm.simulate_error ~trials ~rng drm }
+  in
+  List.map row [ (1, 0.8); (2, 0.8); (3, 0.6); (3, 1.5); (4, 1.) ]

@@ -1,0 +1,103 @@
+(** Programmatic definitions of every evaluation artifact in the paper
+    (Figures 2–6, the Sec. 4.4 threshold, the Sec. 4.5 calibration, the
+    Sec. 6 assessment) plus this reproduction's own validation
+    experiment.  The CLI, the figure generator and the bench harness
+    all consume these definitions, so "what Figure 4 is" lives in
+    exactly one place.  The cost/error sweeps and the landscape are
+    issued as engine queries ({!Query}/{!Planner}), so every figure
+    carries the same provenance and cross-checking surface as ad-hoc
+    queries — with values bit-identical to the historical direct
+    sweeps. *)
+
+open Zeroconf
+
+type series = { label : string; points : (float * float) array }
+
+type figure = {
+  id : string;          (** e.g. ["fig2"]. *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  log_y : bool;
+  y_min : float option; (** Display clip, mirroring the paper's axes. *)
+  y_max : float option;
+  series : series list;
+}
+
+val figure2 : ?scenario:Params.t -> ?points:int -> unit -> figure
+(** Cost functions [C_1 .. C_8] against [r] (clipped like the paper's
+    plot, which hides the astronomically expensive [C_1], [C_2]). *)
+
+val figure3 : ?scenario:Params.t -> ?points:int -> unit -> figure
+(** The step function [N(r)]. *)
+
+val figure4 : ?scenario:Params.t -> ?points:int -> unit -> figure
+(** The lower envelope [C_min(r)]. *)
+
+val figure5 : ?scenario:Params.t -> ?points:int -> unit -> figure
+(** [log10 E(n, r)] for [n = 1 .. 8]. *)
+
+val figure6 : ?scenario:Params.t -> ?points:int -> unit -> figure
+(** The Figure-5 curves with the sawtoothed [E(N(r), r)] overlaid. *)
+
+val all_figures : unit -> figure list
+(** Figures 2–6, in order. *)
+
+type landscape = {
+  ns : int array;               (** Row labels: probe counts. *)
+  rs : float array;             (** Column labels: listening periods. *)
+  log10_cost : float array array;  (** [log10 C(n, r)] per (row, col). *)
+}
+
+val cost_landscape :
+  ?scenario:Params.t -> ?n_max:int -> ?r_points:int -> ?r_lo:float ->
+  ?r_hi:float -> unit -> landscape
+(** The [(n, r)] cost surface behind the figure generator's heatmap
+    (defaults: [n = 1..10], 24 points of [r] in [0.25, 6]), evaluated
+    in parallel over the flattened grid. *)
+
+val latency_figure : ?scenario:Params.t -> unit -> figure
+(** Extension figure: configuration-time CDFs for the draft's [(4, 2)],
+    the scenario's cost optimum, and a fast [(8, r_opt(8))] design. *)
+
+val pareto_figure : ?scenario:Params.t -> unit -> figure
+(** Extension figure: the cost/reliability Pareto front (log10 error
+    against mean cost). *)
+
+val extension_figures : unit -> figure list
+
+val section_44_nu : unit -> int
+(** [nu] for the Figure-2 scenario; the paper derives [3]. *)
+
+type calibration_row = {
+  label : string;
+  target_n : int;
+  target_r : float;
+  paper_error_cost : float;
+  paper_probe_cost : float;
+  derived : Calibrate.result;
+}
+
+val section_45 : unit -> calibration_row list
+(** Both Sec. 4.5 calibrations with the paper's reported values
+    alongside ours. *)
+
+val section_6 : unit -> Assessment.t
+(** The realistic-ethernet assessment; the paper reports optimum
+    [n = 2, r ~= 1.75] with error probability [~4e-22]. *)
+
+type validation_row = {
+  n : int;
+  r : float;
+  analytic_cost : float;       (** Eq. 3. *)
+  matrix_cost : float;         (** Generic DRM solve. *)
+  simulated_cost : Dtmc.Simulate.estimate;
+  analytic_error : float;      (** Eq. 4. *)
+  matrix_error : float;        (** Absorption probability. *)
+  simulated_error : Dtmc.Simulate.estimate;
+}
+
+val validation : ?trials:int -> ?seed:int -> unit -> validation_row list
+(** Three-way agreement check on a Monte-Carlo-friendly scenario
+    (moderate [E] and loss, so all three routes resolve the same
+    digits). *)

@@ -1,0 +1,44 @@
+exception Unsupported of string
+
+let backends : (string * (module Backend.S)) list =
+  [ ("kernel", (module Backends.Kernel));
+    ("analytic", (module Backends.Analytic));
+    ("dtmc", (module Backends.Dtmc));
+    ("mc", (module Backends.Mc)) ]
+
+let backend_of_name name =
+  List.assoc_opt (String.lowercase_ascii name) backends
+
+(* cheapest first: the kernel's streaming cursors beat the per-point
+   closed forms, which beat the cubic matrix solve *)
+let exact_order : (module Backend.S) list =
+  [ (module Backends.Kernel); (module Backends.Analytic);
+    (module Backends.Dtmc) ]
+
+let plan (q : Query.t) =
+  Query.validate q;
+  let candidates =
+    match q.accuracy with
+    | Query.Sampled _ -> [ (module Backends.Mc : Backend.S) ]
+    | Query.Exact | Query.Within _ -> exact_order
+  in
+  match
+    List.find_opt (fun (module B : Backend.S) -> B.supports q) candidates
+  with
+  | Some b -> b
+  | None ->
+      raise (Unsupported (Format.asprintf "no backend supports: %a" Query.pp q))
+
+let eval ?pool ?backend q =
+  let (module B : Backend.S) =
+    match backend with
+    | None -> plan q
+    | Some name -> (
+        match backend_of_name name with
+        | Some b -> b
+        | None -> raise (Unsupported (Printf.sprintf "unknown backend %s" name)))
+  in
+  if not (B.supports q) then
+    raise
+      (Unsupported (Format.asprintf "%s cannot answer: %a" B.name Query.pp q));
+  B.eval ?pool q

@@ -1,0 +1,27 @@
+(** Backend selection: the cheapest route that meets the accuracy
+    demand.
+
+    Deterministic demands ([Exact] / [Within]) try, in order,
+    {!Backends.Kernel} (O(1) amortized per point, survival memo), then
+    {!Backends.Analytic} (covers latency), then {!Backends.Dtmc}
+    (covers the cost variance).  [Sampled] demands route to
+    {!Backends.Mc}.  The first backend whose [supports] accepts the
+    query wins. *)
+
+exception Unsupported of string
+(** No backend (or the named backend) can answer the query. *)
+
+val backends : (string * (module Backend.S)) list
+(** All routes by name: [kernel], [analytic], [dtmc], [mc]. *)
+
+val backend_of_name : string -> (module Backend.S) option
+(** Case-insensitive lookup in {!backends}. *)
+
+val plan : Query.t -> (module Backend.S)
+(** The backend {!eval} would use.  Raises {!Unsupported} (or
+    [Invalid_argument] on a malformed query). *)
+
+val eval : ?pool:Exec.Pool.t -> ?backend:string -> Query.t -> Answer.t
+(** Plan and run.  [backend] forces a specific route by name instead
+    of planning; raises {!Unsupported} if it is unknown or cannot
+    answer the query. *)

@@ -1,0 +1,109 @@
+type quantity =
+  | Mean_cost
+  | Error_probability
+  | Log10_error
+  | Cost_variance
+  | Latency_mean
+
+type domain =
+  | Point of { n : int; r : float }
+  | N_sweep of { ns : int array; r : float }
+  | R_sweep of { n : int; rs : float array }
+
+type accuracy = Exact | Within of float | Sampled of { trials : int; seed : int }
+
+type t = {
+  quantity : quantity;
+  scenario : Zeroconf.Params.t;
+  domain : domain;
+  accuracy : accuracy;
+}
+
+let check_n n =
+  if n < 1 then invalid_arg (Printf.sprintf "Query: n = %d < 1" n)
+
+let check_r r =
+  if not (Float.is_finite r && r > 0.) then
+    invalid_arg (Printf.sprintf "Query: r = %g not positive and finite" r)
+
+let validate t =
+  (match t.domain with
+  | Point { n; r } ->
+      check_n n;
+      check_r r
+  | N_sweep { ns; r } ->
+      if Array.length ns = 0 then invalid_arg "Query: empty n sweep";
+      Array.iter check_n ns;
+      check_r r
+  | R_sweep { n; rs } ->
+      check_n n;
+      if Array.length rs = 0 then invalid_arg "Query: empty r sweep";
+      Array.iter check_r rs);
+  match t.accuracy with
+  | Sampled { trials; _ } when trials < 1 ->
+      invalid_arg (Printf.sprintf "Query: trials = %d < 1" trials)
+  | Within tol when not (Float.is_finite tol && tol > 0.) ->
+      invalid_arg (Printf.sprintf "Query: tolerance = %g not positive" tol)
+  | _ -> ()
+
+let make quantity scenario domain accuracy =
+  let t = { quantity; scenario; domain; accuracy } in
+  validate t;
+  t
+
+let point ?(accuracy = Exact) quantity scenario ~n ~r =
+  make quantity scenario (Point { n; r }) accuracy
+
+let n_sweep ?(accuracy = Exact) quantity scenario ~ns ~r =
+  make quantity scenario (N_sweep { ns; r }) accuracy
+
+let r_sweep ?(accuracy = Exact) quantity scenario ~n ~rs =
+  make quantity scenario (R_sweep { n; rs }) accuracy
+
+let size t =
+  match t.domain with
+  | Point _ -> 1
+  | N_sweep { ns; _ } -> Array.length ns
+  | R_sweep { rs; _ } -> Array.length rs
+
+let points t =
+  match t.domain with
+  | Point { n; r } -> [| (n, r) |]
+  | N_sweep { ns; r } -> Array.map (fun n -> (n, r)) ns
+  | R_sweep { n; rs } -> Array.map (fun r -> (n, r)) rs
+
+let quantity_name = function
+  | Mean_cost -> "mean-cost"
+  | Error_probability -> "error-probability"
+  | Log10_error -> "log10-error"
+  | Cost_variance -> "cost-variance"
+  | Latency_mean -> "latency-mean"
+
+let quantity_of_name = function
+  | "mean-cost" | "cost" -> Some Mean_cost
+  | "error-probability" | "error" -> Some Error_probability
+  | "log10-error" -> Some Log10_error
+  | "cost-variance" | "variance" -> Some Cost_variance
+  | "latency-mean" | "latency" -> Some Latency_mean
+  | _ -> None
+
+let pp ppf t =
+  let domain ppf = function
+    | Point { n; r } -> Format.fprintf ppf "(n = %d, r = %g)" n r
+    | N_sweep { ns; r } ->
+        Format.fprintf ppf "(n in %d..%d, r = %g)"
+          (Array.fold_left min max_int ns)
+          (Array.fold_left max min_int ns)
+          r
+    | R_sweep { n; rs } ->
+        Format.fprintf ppf "(n = %d, r in [%g, %g], %d points)" n rs.(0)
+          rs.(Array.length rs - 1) (Array.length rs)
+  in
+  let accuracy ppf = function
+    | Exact -> Format.pp_print_string ppf "exact"
+    | Within tol -> Format.fprintf ppf "within %g" tol
+    | Sampled { trials; seed } ->
+        Format.fprintf ppf "sampled (%d trials, seed %d)" trials seed
+  in
+  Format.fprintf ppf "%s of %s at %a, %a" (quantity_name t.quantity)
+    t.scenario.Zeroconf.Params.name domain t.domain accuracy t.accuracy

@@ -1,0 +1,73 @@
+(** First-class evaluation requests.
+
+    A query names {e what} to compute (a paper quantity), {e where}
+    (a scenario and a point or sweep over the protocol parameters
+    [(n, r)]) and {e how well} (an accuracy demand) — but not {e how}:
+    picking the evaluation route (closed form, streaming kernel, DTMC
+    matrix solve, or Monte Carlo) is the {!Planner}'s job.  This is the
+    single interface all four routes sit behind, so cross-route
+    agreement checks ({!Crosscheck}) and future caching/sharding layers
+    see one request type instead of four hand-wired call graphs. *)
+
+type quantity =
+  | Mean_cost          (** Eq. 3's [C(n, r)]. *)
+  | Error_probability  (** Eq. 4's [E(n, r)]. *)
+  | Log10_error        (** [log10 E(n, r)], stable far below float
+                           underflow of [E] itself. *)
+  | Cost_variance      (** Variance of the accumulated cost — DRM-only
+                           (the paper's closed forms give the mean). *)
+  | Latency_mean       (** Mean configuration time in seconds. *)
+
+type domain =
+  | Point of { n : int; r : float }
+  | N_sweep of { ns : int array; r : float }
+      (** One value per probe count at a fixed listening period. *)
+  | R_sweep of { n : int; rs : float array }
+      (** One value per listening period at a fixed probe count. *)
+
+type accuracy =
+  | Exact
+      (** Full float precision: only the deterministic routes qualify. *)
+  | Within of float
+      (** Relative error at most this bound; the deterministic routes
+          meet any bound, so this mainly documents intent and lets the
+          planner keep cheap routes first. *)
+  | Sampled of { trials : int; seed : int }
+      (** Statistical estimate with a confidence interval — routes the
+          query to Monte Carlo. *)
+
+type t = {
+  quantity : quantity;
+  scenario : Zeroconf.Params.t;
+  domain : domain;
+  accuracy : accuracy;
+}
+
+val point : ?accuracy:accuracy -> quantity -> Zeroconf.Params.t -> n:int -> r:float -> t
+(** Point query; [accuracy] defaults to {!Exact}. *)
+
+val n_sweep :
+  ?accuracy:accuracy -> quantity -> Zeroconf.Params.t -> ns:int array -> r:float -> t
+
+val r_sweep :
+  ?accuracy:accuracy -> quantity -> Zeroconf.Params.t -> n:int -> rs:float array -> t
+
+val validate : t -> unit
+(** Raises [Invalid_argument] unless every probe count is at least 1,
+    every listening period is positive and finite, sweeps are
+    non-empty, and [Sampled] demands at least one trial.  The smart
+    constructors above call this. *)
+
+val size : t -> int
+(** Number of evaluation points in the domain. *)
+
+val points : t -> (int * float) array
+(** The domain flattened to [(n, r)] pairs, in sweep order. *)
+
+val quantity_name : quantity -> string
+(** Stable lower-case identifier ([mean-cost], [error-probability],
+    [log10-error], [cost-variance], [latency-mean]). *)
+
+val quantity_of_name : string -> quantity option
+
+val pp : Format.formatter -> t -> unit

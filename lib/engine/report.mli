@@ -1,0 +1,17 @@
+(** One-call executive summary of a scenario: everything a protocol
+    designer needs on one page, as Markdown.
+
+    Pulls together the whole analysis surface — optimum vs draft
+    (Sec. 6's comparison), the minimal useful probe count (Sec. 4.4),
+    configuration-time quantiles, the reliability at both operating
+    points, the Pareto knee, and the dominant sensitivities — for any
+    scenario. *)
+
+open Zeroconf
+
+val markdown : ?draft_n:int -> ?draft_r:float -> Params.t -> string
+(** The report.  [draft_n], [draft_r] default to the Internet-draft's
+    [4] and [2.]. *)
+
+val print : ?draft_n:int -> ?draft_r:float -> Params.t -> unit
+(** [markdown] to stdout. *)

@@ -1,0 +1,40 @@
+(** The cost/reliability Pareto front.
+
+    The paper's central qualitative claim: "minimal cost and maximal
+    reliability are qualities that cannot be achieved at the same time"
+    (and Figures 4 vs 6: the minima of one are not the minima of the
+    other).  This module makes the claim quantitative by enumerating
+    [(n, r)] designs and extracting the Pareto-optimal set over
+    (mean cost, error probability).  The design grid is evaluated
+    through the query engine (kernel-backed n-sweeps). *)
+
+open Zeroconf
+
+type design = {
+  n : int;
+  r : float;
+  cost : float;
+  log10_error : float;
+      (** Error probability in log10, the scale on which the paper
+          plots it. *)
+}
+
+val enumerate :
+  ?n_max:int -> ?r_points:int -> ?r_max:float -> Params.t -> design list
+(** All candidate designs on an [(n, r)] grid: [n = 1 .. n_max]
+    (default [12]), [r] on [r_points] (default [200]) points up to
+    [r_max] (default [8.]). *)
+
+val pareto_front : design list -> design list
+(** Designs not dominated by any other (lower cost {e and} lower error).
+    Sorted by increasing cost (hence decreasing reliability). *)
+
+val front :
+  ?n_max:int -> ?r_points:int -> ?r_max:float -> Params.t -> design list
+(** [pareto_front (enumerate p)]. *)
+
+val knee : design list -> design option
+(** The "knee" of a front sorted by cost: the design maximizing the
+    distance to the segment between the front's endpoints, after
+    normalizing both axes to [0, 1] — a standard heuristic for the
+    best compromise.  [None] on fronts with fewer than three points. *)

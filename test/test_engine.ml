@@ -1,0 +1,225 @@
+(* Cross-backend consistency for the query engine: the deterministic
+   routes must agree (kernel bit-identically with the closed forms,
+   the DTMC solve to 1e-9 relative), and the Monte-Carlo route must
+   cover the deterministic value with its confidence interval. *)
+
+module Q = Engine.Query
+module A = Engine.Answer
+
+let eval ?backend q = Engine.Planner.eval ?backend q
+let value ?backend q = A.scalar (eval ?backend q).A.points.(0)
+
+let grid_points = [ (1, 0.5); (2, 1.); (4, 2.); (6, 1.3); (8, 0.7) ]
+let exact_quantities = [ Q.Mean_cost; Q.Error_probability; Q.Log10_error ]
+
+(* ------------------------------------------------------------------ *)
+(* Analytic == Kernel, bit for bit, on every preset                    *)
+
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let test_kernel_bit_identity () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun (n, r) ->
+          List.iter
+            (fun qty ->
+              let q = Q.point qty p ~n ~r in
+              let va = value ~backend:"analytic" q in
+              let vk = value ~backend:"kernel" q in
+              if not (same_bits va vk) then
+                Alcotest.failf "%s (%d, %g) %s: analytic %h vs kernel %h" name
+                  n r (Q.quantity_name qty) va vk)
+            exact_quantities)
+        grid_points)
+    Zeroconf.Params.presets
+
+let test_sweep_matches_points () =
+  let p = Zeroconf.Params.figure2 in
+  let rs = Numerics.Grid.linspace 0.1 4. 25 in
+  let ns = Array.init 10 (fun i -> i + 1) in
+  List.iter
+    (fun qty ->
+      let sweep = eval (Q.r_sweep qty p ~n:4 ~rs) in
+      Array.iteri
+        (fun i (pt : A.point) ->
+          let direct = value (Q.point qty p ~n:4 ~r:rs.(i)) in
+          if not (same_bits (A.scalar pt) direct) then
+            Alcotest.failf "r-sweep %s drifts at r = %g" (Q.quantity_name qty)
+              rs.(i))
+        sweep.A.points;
+      let sweep = eval (Q.n_sweep qty p ~ns ~r:2.) in
+      Array.iteri
+        (fun i (pt : A.point) ->
+          let direct = value (Q.point qty p ~n:ns.(i) ~r:2.) in
+          if not (same_bits (A.scalar pt) direct) then
+            Alcotest.failf "n-sweep %s drifts at n = %d" (Q.quantity_name qty)
+              ns.(i))
+        sweep.A.points)
+    exact_quantities
+
+let test_n_sweep_any_order () =
+  (* the kernel backend reorders arbitrary (even duplicated) probe
+     counts onto one forward cursor *)
+  let p = Zeroconf.Params.figure2 in
+  let ns = [| 7; 2; 2; 9; 1 |] in
+  let a = eval ~backend:"kernel" (Q.n_sweep Q.Mean_cost p ~ns ~r:1.5) in
+  Array.iteri
+    (fun i (pt : A.point) ->
+      Alcotest.(check int) "sweep order preserved" ns.(i) pt.A.n;
+      let direct = value (Q.point Q.Mean_cost p ~n:ns.(i) ~r:1.5) in
+      Alcotest.(check bool) "value matches" true (same_bits (A.scalar pt) direct))
+    a.A.points
+
+(* ------------------------------------------------------------------ *)
+(* Analytic vs DTMC matrix solve: <= 1e-9 relative, on every preset    *)
+
+let test_dtmc_agreement () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun (n, r) ->
+          List.iter
+            (fun qty ->
+              let q = Q.point qty p ~n ~r in
+              let va = value ~backend:"analytic" q in
+              let vd = value ~backend:"dtmc" q in
+              let rel = Engine.Crosscheck.rel_divergence va vd in
+              if rel > 1e-9 then
+                Alcotest.failf "%s (%d, %g) %s: analytic %.17g vs dtmc %.17g \
+                                (rel %.3g)"
+                  name n r (Q.quantity_name qty) va vd rel)
+            [ Q.Mean_cost; Q.Error_probability ])
+        grid_points)
+    Zeroconf.Params.presets
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo inside its own confidence interval (fixed seed)         *)
+
+(* a scenario Monte Carlo can actually resolve: frequent collisions,
+   moderate error cost; q on the hosts lattice so the simulator's
+   occupancy reproduces it exactly *)
+let mc_friendly =
+  Zeroconf.Params.v ~name:"mc-moderate"
+    ~delay:(Dist.Families.shifted_exponential ~mass:0.9 ~rate:2. ~delay:0.5 ())
+    ~q:(Zeroconf.Params.q_of_hosts 19_507)
+    ~probe_cost:1. ~error_cost:100.
+
+let check_covered p ~n ~r qty =
+  let rep =
+    Engine.Crosscheck.run ~trials:20_000 ~seed:Engine.Crosscheck.default_seed
+      (Q.point qty p ~n ~r)
+  in
+  Alcotest.(check (option bool))
+    (Printf.sprintf "%s covered at (%d, %g) on %s" (Q.quantity_name qty) n r
+       p.Zeroconf.Params.name)
+    (Some true) rep.Engine.Crosscheck.mc_covered
+
+let test_mc_within_ci () =
+  List.iter
+    (fun qty ->
+      check_covered Zeroconf.Params.figure2 ~n:4 ~r:2. qty;
+      check_covered mc_friendly ~n:4 ~r:1. qty)
+    [ Q.Mean_cost; Q.Error_probability; Q.Latency_mean ]
+
+(* ------------------------------------------------------------------ *)
+(* Planner routing and provenance                                      *)
+
+let planned q =
+  let (module B : Engine.Backend.S) = Engine.Planner.plan q in
+  B.name
+
+let test_planner_routing () =
+  let p = Zeroconf.Params.figure2 in
+  Alcotest.(check string) "cost -> kernel" "kernel"
+    (planned (Q.point Q.Mean_cost p ~n:4 ~r:2.));
+  Alcotest.(check string) "log10 error -> kernel" "kernel"
+    (planned (Q.point Q.Log10_error p ~n:4 ~r:2.));
+  Alcotest.(check string) "latency -> analytic" "analytic"
+    (planned (Q.point Q.Latency_mean p ~n:4 ~r:2.));
+  Alcotest.(check string) "variance -> dtmc" "dtmc"
+    (planned (Q.point Q.Cost_variance p ~n:4 ~r:2.));
+  Alcotest.(check string) "sampled -> mc" "mc"
+    (planned
+       (Q.point ~accuracy:(Q.Sampled { trials = 100; seed = 1 }) Q.Mean_cost p
+          ~n:4 ~r:2.));
+  Alcotest.(check bool) "sampled variance unsupported" true
+    (match
+       Engine.Planner.plan
+         (Q.point
+            ~accuracy:(Q.Sampled { trials = 100; seed = 1 })
+            Q.Cost_variance p ~n:4 ~r:2.)
+     with
+    | exception Engine.Planner.Unsupported _ -> true
+    | _ -> false)
+
+let test_provenance () =
+  let p = Zeroconf.Params.figure2 in
+  let a = eval (Q.point Q.Mean_cost p ~n:4 ~r:2.) in
+  Alcotest.(check string) "backend tag" "kernel" a.A.backend;
+  Alcotest.(check int) "kernel point evals = n" 4 a.A.evals;
+  Alcotest.(check bool) "wall clock sane" true (a.A.wall_ns >= 0L);
+  let sweep = eval (Q.r_sweep Q.Mean_cost p ~n:3 ~rs:(Numerics.Grid.linspace 1. 2. 5)) in
+  Alcotest.(check int) "r-sweep evals = n * points" 15 sweep.A.evals;
+  let mc =
+    eval
+      (Q.point ~accuracy:(Q.Sampled { trials = 250; seed = 7 }) Q.Mean_cost p
+         ~n:4 ~r:2.)
+  in
+  Alcotest.(check string) "mc tag" "mc" mc.A.backend;
+  Alcotest.(check int) "mc evals = trials" 250 mc.A.evals;
+  (match mc.A.points.(0).A.value with
+  | A.Interval { ci_lo; ci_hi; mean } ->
+      Alcotest.(check bool) "ci ordered" true (ci_lo <= mean && mean <= ci_hi)
+  | A.Scalar _ -> Alcotest.fail "mc must report an interval")
+
+let test_validation () =
+  let p = Zeroconf.Params.figure2 in
+  List.iter
+    (fun f -> Alcotest.(check bool) "rejected" true
+        (match f () with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ (fun () -> ignore (Q.point Q.Mean_cost p ~n:0 ~r:2.));
+      (fun () -> ignore (Q.point Q.Mean_cost p ~n:4 ~r:0.));
+      (fun () -> ignore (Q.point Q.Mean_cost p ~n:4 ~r:Float.nan));
+      (fun () -> ignore (Q.n_sweep Q.Mean_cost p ~ns:[||] ~r:1.));
+      (fun () -> ignore (Q.r_sweep Q.Mean_cost p ~n:4 ~rs:[||]));
+      (fun () ->
+        ignore
+          (Q.point ~accuracy:(Q.Sampled { trials = 0; seed = 1 }) Q.Mean_cost p
+             ~n:4 ~r:2.)) ]
+
+(* the acceptance-criteria crosscheck, as a regression test *)
+let test_crosscheck_acceptance () =
+  List.iter
+    (fun qty ->
+      let rep =
+        Engine.Crosscheck.run (Q.point qty Zeroconf.Params.figure2 ~n:4 ~r:2.)
+      in
+      Alcotest.(check int) "three deterministic routes + mc" 4
+        (List.length rep.Engine.Crosscheck.answers);
+      Alcotest.(check bool) "divergence <= 1e-9" true
+        (rep.Engine.Crosscheck.max_rel_divergence <= 1e-9);
+      Alcotest.(check (option bool)) "mc covered" (Some true)
+        rep.Engine.Crosscheck.mc_covered)
+    [ Q.Mean_cost; Q.Error_probability ]
+
+let () =
+  Alcotest.run "engine"
+    [ ( "consistency",
+        [ Alcotest.test_case "analytic == kernel (bit)" `Quick
+            test_kernel_bit_identity;
+          Alcotest.test_case "sweeps == points (bit)" `Quick
+            test_sweep_matches_points;
+          Alcotest.test_case "n-sweep handles any order" `Quick
+            test_n_sweep_any_order;
+          Alcotest.test_case "analytic vs dtmc <= 1e-9" `Quick
+            test_dtmc_agreement;
+          Alcotest.test_case "mc inside its CI" `Slow test_mc_within_ci;
+          Alcotest.test_case "crosscheck acceptance point" `Quick
+            test_crosscheck_acceptance ] );
+      ( "planner",
+        [ Alcotest.test_case "routing" `Quick test_planner_routing;
+          Alcotest.test_case "provenance" `Quick test_provenance;
+          Alcotest.test_case "query validation" `Quick test_validation ] ) ]

@@ -2,7 +2,7 @@
    figure's data has the paper's qualitative shape, and the numeric
    anchors reported in the paper are reproduced. *)
 
-module E = Zeroconf.Experiments
+module E = Engine.Experiments
 
 let check_close ?(tol = 1e-6) msg expected actual =
   Alcotest.(check (float tol)) msg expected actual

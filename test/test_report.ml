@@ -3,7 +3,7 @@ let contains haystack needle =
   let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
   scan 0
 
-let report = Zeroconf.Report.markdown Zeroconf.Params.realistic_ethernet
+let report = Engine.Report.markdown Zeroconf.Params.realistic_ethernet
 
 let test_sections_present () =
   List.iter
@@ -42,7 +42,7 @@ let test_markdown_tables_well_formed () =
   scan lines
 
 let test_custom_draft_point () =
-  let r = Zeroconf.Report.markdown ~draft_n:2 ~draft_r:0.5 Zeroconf.Params.figure2 in
+  let r = Engine.Report.markdown ~draft_n:2 ~draft_r:0.5 Zeroconf.Params.figure2 in
   Alcotest.(check bool) "custom draft row" true (contains r "| draft | 2 | 0.500")
 
 let () =

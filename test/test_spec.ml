@@ -14,13 +14,19 @@ let test_model_parameters () =
   Alcotest.(check (float 1e-12)) "r = mean spacing" 1.5 r
 
 let test_simulator_config_faithful () =
-  let c = Spec.simulator_config () in
+  let p = Zeroconf.Params.figure2 in
+  let c = Spec.simulator_config p in
   Alcotest.(check int) "probes" 4 c.Netsim.Newcomer.probes;
   Alcotest.(check bool) "jittered" true (c.Netsim.Newcomer.listen_jitter <> None);
   Alcotest.(check bool) "immediate abort" true c.Netsim.Newcomer.immediate_abort;
   Alcotest.(check bool) "avoids failed" true c.Netsim.Newcomer.avoid_failed;
   Alcotest.(check (option (pair int (float 0.)))) "rate limited"
-    (Some (10, 60.)) c.Netsim.Newcomer.rate_limit
+    (Some (10, 60.)) c.Netsim.Newcomer.rate_limit;
+  (* costs flow from the scenario, not hardcoded zeros *)
+  Alcotest.(check (float 0.)) "probe cost" p.Zeroconf.Params.probe_cost
+    c.Netsim.Newcomer.probe_cost;
+  Alcotest.(check (float 0.)) "error cost" p.Zeroconf.Params.error_cost
+    c.Netsim.Newcomer.error_cost
 
 (* the jitter in action: timing spreads while the fixed-r run is exact *)
 let one_way = Dist.Families.deterministic ~delay:0.01 ()

@@ -1,4 +1,4 @@
-module T = Zeroconf.Tradeoff
+module T = Engine.Tradeoff
 module Params = Zeroconf.Params
 
 let fig2 = Params.figure2
