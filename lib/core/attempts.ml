@@ -1,3 +1,5 @@
+module SF = Numerics.Safe_float
+
 type refinement = {
   blacklist : bool;
   rate_limit : (int * float) option;
@@ -38,7 +40,7 @@ let analyze ?(max_attempts = 10_000) (p : Params.t) refinement ~n ~r =
   if r < 0. then invalid_arg "Attempts.analyze: negative r";
   let pis = Probes.pi_all p ~n ~r in
   let pi_n = pis.(n) in
-  let sum_pi = Numerics.Safe_float.sum (Array.sub pis 0 n) in
+  let sum_pi = SF.sum (Array.sub pis 0 n) in
   let step_cost = r +. p.Params.probe_cost in
   let nf = float_of_int n in
   (* per-attempt conditional expectations, given occupancy prob q_i:
@@ -55,12 +57,12 @@ let analyze ?(max_attempts = 10_000) (p : Params.t) refinement ~n ~r =
     (* i is 1-based; with blacklisting, i - 1 occupied addresses are
        known and excluded from the draw *)
     if not refinement.blacklist then
-      float_of_int refinement.occupied /. float_of_int refinement.pool
+      SF.div (float_of_int refinement.occupied) (float_of_int refinement.pool)
     else
       let known = min (i - 1) refinement.occupied in
       let remaining_occupied = refinement.occupied - known in
       let remaining_pool = refinement.pool - known in
-      float_of_int remaining_occupied /. float_of_int remaining_pool
+      SF.div (float_of_int remaining_occupied) (float_of_int remaining_pool)
   in
   let delay_before_attempt i =
     match refinement.rate_limit with

@@ -1,3 +1,5 @@
+module SF = Numerics.Safe_float
+
 let check name n r =
   if n < 1 then invalid_arg (name ^ ": n must be >= 1");
   if r < 0. then invalid_arg (name ^ ": negative listening period")
@@ -6,7 +8,7 @@ let mean (p : Params.t) ~n ~r =
   check "Cost.mean" n r;
   let pis = Probes.pi_all p ~n ~r in
   let sum_pi =
-    Numerics.Safe_float.sum_prefix pis n (* pi_0 .. pi_{n-1}, no copy *)
+    SF.sum_prefix pis n (* pi_0 .. pi_{n-1}, no copy *)
   in
   let pi_n = pis.(n) in
   let numerator =
@@ -14,7 +16,7 @@ let mean (p : Params.t) ~n ~r =
      *. ((float_of_int n *. (1. -. p.q)) +. (p.q *. sum_pi)))
     +. (p.q *. p.error_cost *. pi_n)
   in
-  numerator /. (1. -. (p.q *. (1. -. pi_n)))
+  SF.div numerator (1. -. (p.q *. (1. -. pi_n)))
 
 let mean_log (p : Params.t) ~n ~r =
   check "Cost.mean_log" n r;
@@ -30,8 +32,8 @@ let mean_log (p : Params.t) ~n ~r =
   let sum_acc = ref L.zero in
   for i = 1 to n do
     sum_acc := L.add !sum_acc (L.of_log !log_pi);
-    let ratio = s (float_of_int i *. r) /. s0 in
-    log_pi := !log_pi +. (if ratio <= 0. then neg_infinity else log ratio)
+    let ratio = SF.div (s (float_of_int i *. r)) s0 in
+    log_pi := !log_pi +. (if ratio <= 0. then neg_infinity else SF.log ratio)
   done;
   let pi_n = L.of_log !log_pi in
   let sum_pi = !sum_acc in
@@ -52,11 +54,12 @@ let asymptote (p : Params.t) ~n ~r =
   (* (1 - (1-l)^n) / l, continuous at l = 1 *)
   let geometric =
     if loss = 0. then float_of_int n
-    else (1. -. (loss ** float_of_int n)) /. l
+    else SF.div (1. -. SF.pow loss (float_of_int n)) l
   in
-  (r +. p.probe_cost)
-  *. ((float_of_int n *. (1. -. p.q)) +. (p.q *. geometric))
-  /. (1. -. p.q)
+  SF.div
+    ((r +. p.probe_cost)
+    *. ((float_of_int n *. (1. -. p.q)) +. (p.q *. geometric)))
+    (1. -. p.q)
 
 let at_zero (p : Params.t) = p.q *. p.error_cost
 

@@ -27,6 +27,8 @@
    closures are pure).  Keys: the distribution record by physical
    identity, then the float abscissa.  Capacity is a backstop, not an
    eviction policy: overflow drops the table wholesale. *)
+module SF = Numerics.Safe_float
+
 module Memo = struct
   (* monomorphic float keys: skips the polymorphic-compare dispatch on
      the [find] hot path *)
@@ -116,7 +118,7 @@ let advance k =
   (* [si] divides unguarded exactly as [Probes.log_pi] does; the ratio
      carries the [Probes.pi_all] guard (identical quotient when the
      guard does not fire) *)
-  let si = s_ir /. k.s0 in
+  let si = SF.div s_ir k.s0 in
   k.ratio <- (if k.s0 <= 0. then 0. else si);
   k.pi <- k.pi *. k.ratio;
   (* [si = 1.] skips the transcendental on the pre-round-trip plateau;
@@ -124,7 +126,7 @@ let advance k =
      bit *)
   k.log_pi <-
     (k.log_pi
-    +. (if si <= 0. then neg_infinity else if si = 1. then 0. else log si));
+    +. (if si <= 0. then neg_infinity else if si = 1. then 0. else SF.log si));
   k.n <- i
 
 let advance_to k ~n =
@@ -147,24 +149,24 @@ let cost k =
      *. ((float_of_int k.n *. (1. -. p.q)) +. (p.q *. sum_pi)))
     +. (p.q *. p.error_cost *. pi_n)
   in
-  numerator /. (1. -. (p.q *. (1. -. pi_n)))
+  SF.div numerator (1. -. (p.q *. (1. -. pi_n)))
 
 (* Eq. 4, exactly as [Reliability.error_probability] *)
 let error_probability k =
   require_step "Kernel.error_probability" k;
   let p = k.params in
   let pi_n = k.pi in
-  Numerics.Safe_float.clamp_probability
-    (p.q *. pi_n /. (1. -. (p.q *. (1. -. pi_n))))
+  SF.clamp_probability
+    (SF.div (p.q *. pi_n) (1. -. (p.q *. (1. -. pi_n))))
 
 (* deep-tail twin, exactly as [Reliability.log10_error_probability] *)
 let log10_error k =
   require_step "Kernel.log10_error" k;
   let p = k.params in
   let log_pi = k.log_pi in
-  let pi_n = exp log_pi in
+  let pi_n = SF.exp log_pi in
   let denom = 1. -. (p.q *. (1. -. pi_n)) in
-  (log p.q +. log_pi -. log denom) /. Float.log 10.
+  SF.div (SF.log p.q +. log_pi -. SF.log denom) (SF.log 10.)
 
 let one_shot name ?memo read (p : Params.t) ~n ~r =
   if n < 1 then invalid_arg (name ^ ": n must be >= 1");

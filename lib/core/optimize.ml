@@ -1,10 +1,12 @@
+module SF = Numerics.Safe_float
+
 type point = { n : int; r : float; cost : float; error_prob : float }
 
 let min_useful_probes (p : Params.t) =
   let loss = Params.loss_probability p in
   if loss <= 0. || p.error_cost <= 1. then 1
   else
-    let nu = Float.ceil (-.log p.error_cost /. log loss) in
+    let nu = Float.ceil (SF.div (-.SF.log p.error_cost) (SF.log loss)) in
     max 1 (int_of_float nu)
 
 (* Initial search scale for r: past the round-trip bulk of the delay
@@ -18,7 +20,7 @@ let default_r_hi (p : Params.t) ~n =
         try Dist.Distribution.quantile p.delay (0.99 *. p.delay.mass)
         with Invalid_argument _ -> 1.)
   in
-  Float.max 1. (bulk *. Float.max 1. (8. /. float_of_int n))
+  Float.max 1. (bulk *. Float.max 1. (SF.div 8. (float_of_int n)))
 
 let optimal_r ?r_hi ?(samples = 512) (p : Params.t) ~n =
   if n < 1 then invalid_arg "Optimize.optimal_r: n must be >= 1";
@@ -75,13 +77,13 @@ let optimal_n_scan ?(n_max = 4096) ?(patience = 24) (p : Params.t) ~r =
   (* Eq. 4 readings for the winner, from the pi / log-pi snapshots taken
      at its step — the same expressions as [Reliability], bit for bit. *)
   let error_prob =
-    Numerics.Safe_float.clamp_probability
-      (p.q *. !best_pi /. (1. -. (p.q *. (1. -. !best_pi))))
+    SF.clamp_probability
+      (SF.div (p.q *. !best_pi) (1. -. (p.q *. (1. -. !best_pi))))
   in
   let log10_error =
-    let pi_n = exp !best_log_pi in
+    let pi_n = SF.exp !best_log_pi in
     let denom = 1. -. (p.q *. (1. -. pi_n)) in
-    (log p.q +. !best_log_pi -. log denom) /. Float.log 10.
+    SF.div (SF.log p.q +. !best_log_pi -. SF.log denom) (SF.log 10.)
   in
   { n = !best_n; cost = !best_cost; error_prob; log10_error }
 
@@ -136,7 +138,7 @@ let global_optimum ?(n_max = 4096) ?(patience = 8) (p : Params.t) =
 let constrained_optimum ?(n_max = 32) ~budget (p : Params.t) =
   if budget <= 0. then invalid_arg "Optimize.constrained_optimum: budget <= 0";
   let evaluate n =
-    let r_cap = budget /. float_of_int n in
+    let r_cap = SF.div budget (float_of_int n) in
     let unconstrained = optimal_r ~r_hi:r_cap p ~n in
     let r = Float.min unconstrained.Numerics.Minimize.x r_cap in
     let k = Kernel.create p ~r in
@@ -151,7 +153,7 @@ let constrained_optimum ?(n_max = 32) ~budget (p : Params.t) =
   !best
 
 let probes_for_error_target ?(n_max = 256) (p : Params.t) ~r ~target =
-  if not (Numerics.Safe_float.is_probability target) then
+  if not (SF.is_probability target) then
     invalid_arg "Optimize.probes_for_error_target: target outside [0, 1]";
   if r < 0. then
     invalid_arg "Optimize.probes_for_error_target: negative listening period";

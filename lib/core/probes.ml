@@ -1,3 +1,5 @@
+module SF = Numerics.Safe_float
+
 let check_args name i r =
   if i < 0 then invalid_arg (name ^ ": negative probe index");
   if r < 0. then invalid_arg (name ^ ": negative listening period")
@@ -11,7 +13,7 @@ let no_answer (p : Params.t) ~i ~r =
   else
     let s = p.delay.survival in
     let s0 = s 0. in
-    if s0 <= 0. then 0. else s (float_of_int i *. r) /. s0
+    if s0 <= 0. then 0. else SF.div (s (float_of_int i *. r)) s0
 
 let no_answer_literal (p : Params.t) ~i ~r =
   check_args "Probes.no_answer_literal" i r;
@@ -20,8 +22,8 @@ let no_answer_literal (p : Params.t) ~i ~r =
   for j = 1 to i do
     let fj = f (float_of_int j *. r) and fj1 = f (float_of_int (j - 1) *. r) in
     let denom = 1. -. fj1 in
-    let factor = if denom <= 0. then 0. else 1. -. ((fj -. fj1) /. denom) in
-    acc := !acc *. Numerics.Safe_float.clamp_probability factor
+    let factor = if denom <= 0. then 0. else 1. -. SF.div (fj -. fj1) denom in
+    acc := !acc *. SF.clamp_probability factor
   done;
   !acc
 
@@ -34,7 +36,7 @@ let pi_all (p : Params.t) ~n ~r =
   let s0 = s 0. in
   let out = Array.make (n + 1) 1. in
   for i = 1 to n do
-    let ratio = if s0 <= 0. then 0. else s (float_of_int i *. r) /. s0 in
+    let ratio = if s0 <= 0. then 0. else SF.div (s (float_of_int i *. r)) s0 in
     out.(i) <- out.(i - 1) *. ratio
   done;
   out
@@ -45,7 +47,7 @@ let pi (p : Params.t) ~n ~r =
   let s0 = s 0. in
   let acc = ref 1. in
   for i = 1 to n do
-    let ratio = if s0 <= 0. then 0. else s (float_of_int i *. r) /. s0 in
+    let ratio = if s0 <= 0. then 0. else SF.div (s (float_of_int i *. r)) s0 in
     acc := !acc *. ratio
   done;
   !acc
@@ -57,11 +59,11 @@ let log_pi (p : Params.t) ~n ~r =
   let acc = ref 0. in
   for i = 1 to n do
     (* log p_i = log S(ir) - log S(0); S(0) = 1 for delay >= 0 *)
-    let si = s (float_of_int i *. r) /. s0 in
-    acc := !acc +. (if si <= 0. then neg_infinity else log si)
+    let si = SF.div (s (float_of_int i *. r)) s0 in
+    acc := !acc +. (if si <= 0. then neg_infinity else SF.log si)
   done;
   !acc
 
 let pi_limit (p : Params.t) ~n =
   if n < 0 then invalid_arg "Probes.pi_limit: negative n";
-  Dist.Distribution.loss_probability p.delay ** float_of_int n
+  SF.pow (Dist.Distribution.loss_probability p.delay) (float_of_int n)

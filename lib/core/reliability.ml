@@ -1,3 +1,5 @@
+module SF = Numerics.Safe_float
+
 let check name n r =
   if n < 1 then invalid_arg (name ^ ": n must be >= 1");
   if r < 0. then invalid_arg (name ^ ": negative listening period")
@@ -5,21 +7,21 @@ let check name n r =
 let error_probability (p : Params.t) ~n ~r =
   check "Reliability.error_probability" n r;
   let pi_n = Probes.pi p ~n ~r in
-  Numerics.Safe_float.clamp_probability
-    (p.q *. pi_n /. (1. -. (p.q *. (1. -. pi_n))))
+  SF.clamp_probability
+    (SF.div (p.q *. pi_n) (1. -. (p.q *. (1. -. pi_n))))
 
 let log10_error_probability (p : Params.t) ~n ~r =
   check "Reliability.log10_error_probability" n r;
   let log_pi = Probes.log_pi p ~n ~r in
   (* denominator 1 - q(1 - pi_n): pi_n may underflow but the denominator
      stays near 1 - q, so evaluate it with the clamped pi_n *)
-  let pi_n = exp log_pi in
+  let pi_n = SF.exp log_pi in
   let denom = 1. -. (p.q *. (1. -. pi_n)) in
-  (log p.q +. log_pi -. log denom) /. Float.log 10.
+  SF.div (SF.log p.q +. log_pi -. SF.log denom) (SF.log 10.)
 
 let reliability p ~n ~r = 1. -. error_probability p ~n ~r
 
 let error_bound (p : Params.t) ~n =
   if n < 1 then invalid_arg "Reliability.error_bound: n must be >= 1";
   let floor_pi = Probes.pi_limit p ~n in
-  p.q *. floor_pi /. (1. -. (p.q *. (1. -. floor_pi)))
+  SF.div (p.q *. floor_pi) (1. -. (p.q *. (1. -. floor_pi)))

@@ -1,5 +1,23 @@
 let epsilon = Stdlib.epsilon_float
 
+(* Sanctioned spellings of the NaN-capable float primitives.  The R1
+   lint rule (tools/lint) bans the raw [log]/[exp]/[**]/[/.] spellings
+   in probability-carrying modules, so every transcendental or division
+   on the Eq. 3/4 path funnels through these four names and the domain
+   contract has a single audit point.  They are re-declared externals /
+   trivial aliases of the Stdlib primitives: same instruction, same
+   result bit for bit, no wrapper cost in the kernels. *)
+external log : float -> float = "caml_log_float" "log"
+[@@unboxed] [@@noalloc]
+
+external exp : float -> float = "caml_exp_float" "exp"
+[@@unboxed] [@@noalloc]
+
+external pow : float -> float -> float = "caml_power_float" "pow"
+[@@unboxed] [@@noalloc]
+
+external div : float -> float -> float = "%divfloat"
+
 let approx_eq ?(rtol = 1e-9) ?(atol = 0.) a b =
   if Float.is_nan a || Float.is_nan b then false
   else if a = b then true (* covers equal infinities *)

@@ -8,6 +8,35 @@
 val epsilon : float
 (** Machine epsilon for 64-bit floats ([Stdlib.epsilon_float]). *)
 
+(** {1 Sanctioned float primitives}
+
+    The repo's R1 lint rule ({e float hygiene}, see [tools/lint] and
+    DESIGN.md "Static analysis") forbids raw [log] / [exp] / [( ** )] /
+    [( /. )] in the probability-carrying modules: those quantities mix
+    magnitudes from [1e-120] to [1e35], and a stray [log 0.] or [0./.0.]
+    silently poisons everything downstream.  The four names below are
+    the sanctioned spellings — re-declared externals and a [%divfloat]
+    alias, so they compile to exactly the Stdlib instruction and results
+    are bit-identical — giving every NaN-capable primitive on the
+    Eq. 3/4 path one greppable, lintable audit point. *)
+
+external log : float -> float = "caml_log_float" "log"
+[@@unboxed] [@@noalloc]
+(** [Stdlib.log], sanctioned.  Callers own the [x >= 0.] obligation and
+    must guard or document the [x = 0.] → [neg_infinity] case. *)
+
+external exp : float -> float = "caml_exp_float" "exp"
+[@@unboxed] [@@noalloc]
+(** [Stdlib.exp], sanctioned. *)
+
+external pow : float -> float -> float = "caml_power_float" "pow"
+[@@unboxed] [@@noalloc]
+(** [( ** )], sanctioned.  Callers own the domain obligation (base
+    [>= 0.] in this codebase). *)
+
+external div : float -> float -> float = "%divfloat"
+(** [( /. )], sanctioned.  Callers own the zero-divisor guard. *)
+
 val approx_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
 (** [approx_eq ~rtol ~atol a b] holds when
     [|a - b| <= atol + rtol * max |a| |b|].  Defaults: [rtol = 1e-9],

@@ -1,0 +1,5 @@
+let print_string = Stdlib.print_string
+let print_line s = Stdlib.print_endline s
+
+let prerr_line s =
+  Stdlib.prerr_endline s

@@ -1,0 +1,18 @@
+(** The sanctioned console sink.
+
+    The R4 lint rule (I/O containment, see [tools/lint] and DESIGN.md
+    "Static analysis") forbids [print_*] / [Printf.printf] / stderr
+    writes anywhere in [lib/] outside [lib/output]: library code
+    returns strings or structured values, and whatever must reach the
+    console reaches it through here (or through [Logs]).  Keeping the
+    sink one module wide is what makes "does the library ever write to
+    stdout?" a greppable question. *)
+
+val print_string : string -> unit
+(** Write to stdout, no newline, no flush. *)
+
+val print_line : string -> unit
+(** Write to stdout followed by a newline. *)
+
+val prerr_line : string -> unit
+(** Write to stderr followed by a newline (diagnostics only). *)

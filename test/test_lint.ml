@@ -1,0 +1,197 @@
+(* zeroconf-lint rule engine: one seeded violation per rule family,
+   asserted down to the exact rule id and line, plus the allowlist
+   machinery.  The live tree itself is linted by the root `dune` rule
+   (aliases @lint and @runtest), so a regression in either the rules or
+   the code shows up in the tier-1 gate. *)
+
+open Lint_core
+
+let hits path source =
+  List.map
+    (fun (f : Finding.t) -> (f.rule, f.line, f.ident))
+    (Rules.lint_source ~path source)
+
+let check_hits name ~path ~source expected =
+  Alcotest.(check (list (triple string int string)))
+    name expected (hits path source)
+
+(* -- R1: float hygiene --------------------------------------------- *)
+
+let r1_seeded () =
+  check_hits "raw log, division and pow are flagged, line-exact"
+    ~path:"lib/core/cost.ml"
+    ~source:"let f x = log x\nlet g a b = a /. b\nlet h x n = x ** n\n"
+    [ ("R1", 1, "log"); ("R1", 2, "/."); ("R1", 3, "**") ];
+  check_hits "Float.log and exp count too" ~path:"lib/core/kernel.ml"
+    ~source:"let f x = Float.log x +. exp x\n"
+    [ ("R1", 1, "Float.log"); ("R1", 1, "exp") ]
+
+let r1_scoped () =
+  check_hits "sanctioned spellings are clean" ~path:"lib/core/cost.ml"
+    ~source:
+      "module SF = Numerics.Safe_float\n\
+       let f x = SF.div (SF.log x) (SF.exp x)\n"
+    [];
+  check_hits "non-probability modules are out of R1 scope"
+    ~path:"lib/numerics/integrate.ml" ~source:"let f x = log x /. exp x\n" []
+
+(* -- R2: determinism ----------------------------------------------- *)
+
+let r2_seeded () =
+  check_hits "global Random state and wall clocks are flagged"
+    ~path:"lib/dist/families.ml"
+    ~source:
+      "let () = Random.self_init ()\n\
+       let x () = Random.float 1.\n\
+       let t () = Unix.gettimeofday ()\n"
+    [ ("R2", 1, "Random.self_init");
+      ("R2", 2, "Random.float");
+      ("R2", 3, "Unix.gettimeofday") ]
+
+let r2_scoped () =
+  check_hits "bench may read the wall clock" ~path:"bench/main.ml"
+    ~source:"let t () = Unix.gettimeofday ()\n" [];
+  check_hits "Numerics.Rng is the sanctioned RNG" ~path:"lib/netsim/multi.ml"
+    ~source:"let draw rng = Numerics.Rng.float rng\n" []
+
+(* -- R3: concurrency containment ----------------------------------- *)
+
+let r3_seeded () =
+  check_hits "Domain/Atomic/Mutex leak outside lib/exec"
+    ~path:"lib/netsim/engine.ml"
+    ~source:
+      "let d () = Domain.spawn (fun () -> ())\n\
+       let a = Atomic.make 0\n\
+       let m = Mutex.create ()\n"
+    [ ("R3", 1, "Domain.spawn");
+      ("R3", 2, "Atomic.make");
+      ("R3", 3, "Mutex.create") ]
+
+let r3_scoped () =
+  check_hits "lib/exec is the sanctioned home" ~path:"lib/exec/pool.ml"
+    ~source:"let d () = Domain.spawn (fun () -> ())\n" []
+
+(* -- R4: I/O containment ------------------------------------------- *)
+
+let r4_seeded () =
+  check_hits "console writes inside lib are flagged"
+    ~path:"lib/engine/report.ml"
+    ~source:
+      "let () = print_endline \"x\"\n\
+       let () = Printf.printf \"y\"\n\
+       let oc = stderr\n"
+    [ ("R4", 1, "print_endline");
+      ("R4", 2, "Printf.printf");
+      ("R4", 3, "stderr") ]
+
+let r4_scoped () =
+  check_hits "lib/output is the sanctioned sink" ~path:"lib/output/emit.ml"
+    ~source:"let () = print_string \"x\"\n" [];
+  check_hits "binaries talk to the console freely" ~path:"bin/zeroconf_cli.ml"
+    ~source:"let () = print_endline \"x\"\n" []
+
+(* -- R5: interface discipline -------------------------------------- *)
+
+let r5_obj () =
+  check_hits "Obj.magic is never sanctioned" ~path:"lib/dtmc/sparse.ml"
+    ~source:"let f x = Obj.magic x\n"
+    [ ("R5", 1, "Obj.magic") ]
+
+let r5_missing_mli () =
+  let fs =
+    Rules.missing_mli_findings
+      [ "lib/core/cost.ml"; "lib/core/cost.mli"; "lib/core/orphan.ml";
+        "bin/zeroconf_cli.ml" ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "only the interface-less lib module is flagged"
+    [ ("R5", "lib/core/orphan.ml") ]
+    (List.map (fun (f : Finding.t) -> (f.rule, f.file)) fs)
+
+(* -- E0: parse failures are findings, not crashes ------------------ *)
+
+let e0_parse_error () =
+  match hits "lib/core/cost.ml" "let let = in" with
+  | [ ("E0", _, "<parse>") ] -> ()
+  | other ->
+      Alcotest.failf "expected a single E0 finding, got %d" (List.length other)
+
+(* -- allowlist ----------------------------------------------------- *)
+
+let allow_entries =
+  Allowlist.of_string
+    "((rule R3) (file lib/core/kernel.ml) (ident Domain.DLS)\n\
+    \ (why \"per-domain memo\"))\n"
+
+let allowlist_permits () =
+  let finding ident =
+    Finding.v ~rule:"R3" ~file:"lib/core/kernel.ml" ~line:46 ~col:4 ~ident
+      ~message:"" ~hint:""
+  in
+  Alcotest.(check bool)
+    "exact ident is waived" true
+    (Allowlist.permits allow_entries (finding "Domain.DLS"));
+  Alcotest.(check bool)
+    "deeper path under the ident is waived" true
+    (Allowlist.permits allow_entries (finding "Domain.DLS.get"));
+  Alcotest.(check bool)
+    "a sibling module is not waived" false
+    (Allowlist.permits allow_entries (finding "Domain.spawn"));
+  Alcotest.(check bool)
+    "another file is not waived" false
+    (Allowlist.permits allow_entries
+       (Finding.v ~rule:"R3" ~file:"lib/core/probes.ml" ~line:1 ~col:0
+          ~ident:"Domain.DLS" ~message:"" ~hint:""))
+
+let allowlist_requires_why () =
+  Alcotest.check_raises "an entry without a justification is malformed"
+    (Allowlist.Malformed "allow entry missing (why ...)") (fun () ->
+      ignore
+        (Allowlist.of_string
+           "((rule R1) (file lib/core/cost.ml) (ident log))"))
+
+let allowlist_stale () =
+  let live =
+    [ Finding.v ~rule:"R3" ~file:"lib/core/kernel.ml" ~line:46 ~col:4
+        ~ident:"Domain.DLS.get" ~message:"" ~hint:"" ]
+  in
+  Alcotest.(check int)
+    "a matching entry is not stale" 0
+    (List.length (Allowlist.unused allow_entries live));
+  Alcotest.(check int)
+    "an entry matching nothing is reported stale" 1
+    (List.length (Allowlist.unused allow_entries []))
+
+(* -- the shipped allowlist itself stays well-formed ---------------- *)
+
+let shipped_allowlist () =
+  (* [Rules] scoping is path-based, so entries must use repo-relative
+     paths; every entry must carry a justification (enforced by the
+     loader).  The file lives next to the lint, two directories up from
+     the test's cwd inside _build. *)
+  let path = "../tools/lint/allow.sexp" in
+  if Sys.file_exists path then
+    let entries = Allowlist.load path in
+    Alcotest.(check bool) "has entries" true (List.length entries > 0)
+  else ()
+
+let () =
+  Alcotest.run "lint"
+    [ ( "rules",
+        [ Alcotest.test_case "R1 seeded" `Quick r1_seeded;
+          Alcotest.test_case "R1 scoping" `Quick r1_scoped;
+          Alcotest.test_case "R2 seeded" `Quick r2_seeded;
+          Alcotest.test_case "R2 scoping" `Quick r2_scoped;
+          Alcotest.test_case "R3 seeded" `Quick r3_seeded;
+          Alcotest.test_case "R3 scoping" `Quick r3_scoped;
+          Alcotest.test_case "R4 seeded" `Quick r4_seeded;
+          Alcotest.test_case "R4 scoping" `Quick r4_scoped;
+          Alcotest.test_case "R5 Obj" `Quick r5_obj;
+          Alcotest.test_case "R5 missing mli" `Quick r5_missing_mli;
+          Alcotest.test_case "E0 parse error" `Quick e0_parse_error ] );
+      ( "allowlist",
+        [ Alcotest.test_case "permits" `Quick allowlist_permits;
+          Alcotest.test_case "why is mandatory" `Quick allowlist_requires_why;
+          Alcotest.test_case "stale detection" `Quick allowlist_stale;
+          Alcotest.test_case "shipped allow.sexp" `Quick shipped_allowlist ] )
+    ]

@@ -1,0 +1,96 @@
+(* Minimal s-expression reader for allow.sexp.  Supports atoms, quoted
+   strings with the usual escapes, nested lists, and ';' line comments.
+   Deliberately dependency-free: the lint must build from a bare
+   compiler switch. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let parse_string (src : string) : t list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_blank () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_blank ()
+    | Some ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_blank ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance () (* opening quote *);
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then raise (Parse_error "unterminated string")
+      else
+        match src.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            if !pos >= n then raise (Parse_error "unterminated escape")
+            else begin
+              (match src.[!pos] with
+              | 'n' -> Buffer.add_char b '\n'
+              | 't' -> Buffer.add_char b '\t'
+              | c -> Buffer.add_char b c);
+              advance ();
+              go ()
+            end
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let read_atom () =
+    let start = !pos in
+    let stop = ref false in
+    while not !stop do
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"') | None ->
+          stop := true
+      | Some _ -> advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec read_sexp () =
+    skip_blank ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec items_loop () =
+          skip_blank ();
+          match peek () with
+          | Some ')' -> advance ()
+          | None -> raise (Parse_error "unclosed list")
+          | Some _ ->
+              items := read_sexp () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' -> Atom (read_string ())
+    | Some _ -> Atom (read_atom ())
+  in
+  let out = ref [] in
+  let rec top () =
+    skip_blank ();
+    if !pos < n then begin
+      out := read_sexp () :: !out;
+      top ()
+    end
+  in
+  top ();
+  List.rev !out

@@ -1,0 +1,238 @@
+(* The rule catalogue.  Purely syntactic: sources are parsed with the
+   compiler's own parser (compiler-libs) and walked with
+   [Ast_iterator]; rules match on flattened identifier paths
+   ("Random.self_init", "/.", "Domain.DLS.get", ...) plus the
+   repo-relative path of the file under scan.
+
+   Known limit: a module alias ([module F = Float]) or a local [let log]
+   defeats path matching in both directions.  The codebase does not use
+   those spellings for the banned names, and the allowlist is the escape
+   hatch if one ever becomes necessary; see DESIGN.md "Static analysis".
+
+   The catalogue:
+   - R1 float hygiene: no raw [log]/[exp]/[**]/[/.] in the
+     probability-carrying modules — those must spell the operation
+     through [Numerics.Safe_float] / [Numerics.Logspace] so every
+     NaN-capable primitive on the Eq. 3/4 path has one audit point.
+   - R2 determinism: no [Random.*] anywhere (RNG only via
+     [Numerics.Rng]); no wall-clock reads outside [bench/].
+   - R3 concurrency containment: [Domain]/[Atomic]/[Mutex]/[Condition]/
+     [Thread] only under [lib/exec/].
+   - R4 I/O containment: no stdout/stderr writes inside [lib/] except
+     [lib/output/].
+   - R5 interface discipline: every [lib] module has an [.mli]; no
+     [Obj.magic] family anywhere. *)
+
+(* -- path classification ------------------------------------------- *)
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.concat "/" (String.split_on_char '\\' path)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let in_lib path = starts_with ~prefix:"lib/" path
+let in_exec path = starts_with ~prefix:"lib/exec/" path
+let in_output path = starts_with ~prefix:"lib/output/" path
+let in_bench path = starts_with ~prefix:"bench/" path
+
+(* The probability-carrying modules: everything that assembles Eq. 1-4
+   quantities (pi_i, Eq. 3 cost, Eq. 4 error probability) out of raw
+   floats.  Extend this list as new modules join that path; the
+   numerics substrate itself (Safe_float, Logspace) is the sanctioned
+   home of the primitives and is deliberately absent. *)
+let probability_modules =
+  [ "lib/core/probes.ml";
+    "lib/core/cost.ml";
+    "lib/core/kernel.ml";
+    "lib/core/optimize.ml";
+    "lib/core/attempts.ml";
+    "lib/core/reliability.ml";
+    "lib/core/rare.ml" ]
+
+let is_probability_module path = List.mem path probability_modules
+
+(* -- banned identifier tables -------------------------------------- *)
+
+let r1_banned =
+  [ "log"; "exp"; "log10"; "log1p"; "log2"; "expm1"; "**"; "/.";
+    "Float.log"; "Float.exp"; "Float.log10"; "Float.log1p"; "Float.log2";
+    "Float.expm1"; "Float.pow"; "Stdlib.log"; "Stdlib.exp"; "Stdlib.log10";
+    "Stdlib.expm1"; "Stdlib.**"; "Stdlib./." ]
+
+let r2_clock = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let r3_heads = [ "Domain"; "Atomic"; "Mutex"; "Condition"; "Thread" ]
+
+let r4_banned =
+  [ "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_bytes"; "print_int"; "print_float"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_bytes";
+    "prerr_int"; "prerr_float"; "stdout"; "stderr"; "Printf.printf";
+    "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "Format.std_formatter"; "Format.err_formatter"; "Stdlib.print_string";
+    "Stdlib.print_endline"; "Stdlib.print_newline"; "Stdlib.stdout";
+    "Stdlib.stderr"; "Fmt.pr"; "Fmt.epr"; "Fmt.stdout"; "Fmt.stderr" ]
+
+let r5_obj = [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]
+
+(* -- per-identifier checks ----------------------------------------- *)
+
+let head ident =
+  match String.index_opt ident '.' with
+  | Some i -> String.sub ident 0 i
+  | None -> ident
+
+let check_ident ~path ident : (string * string * string) option =
+  (* returns (rule, message, hint) *)
+  if is_probability_module path && List.mem ident r1_banned then
+    Some
+      ( "R1",
+        Printf.sprintf
+          "raw float primitive `%s` in a probability-carrying module" ident,
+        "spell it via Numerics.Safe_float.{log,exp,pow,div} or \
+         Numerics.Logspace" )
+  else if head ident = "Random" then
+    Some
+      ( "R2",
+        (if ident = "Random.self_init" then
+           "`Random.self_init` makes runs unreplayable"
+         else
+           Printf.sprintf "`%s` uses the global Random state" ident),
+        "draw from a seeded, splittable Numerics.Rng.t threaded from the \
+         caller" )
+  else if List.mem ident r2_clock && not (in_bench path) then
+    Some
+      ( "R2",
+        Printf.sprintf "wall-clock read `%s` outside bench/" ident,
+        "timing belongs in bench/ or behind a reviewed provenance entry in \
+         tools/lint/allow.sexp" )
+  else if List.mem (head ident) r3_heads && not (in_exec path) then
+    Some
+      ( "R3",
+        Printf.sprintf "`%s` leaks shared-memory concurrency outside \
+                        lib/exec" ident,
+        "route parallelism through Exec.Pool / Exec.Parallel, or add a \
+         reviewed allow.sexp entry" )
+  else if in_lib path && (not (in_output path)) && List.mem ident r4_banned
+  then
+    Some
+      ( "R4",
+        Printf.sprintf "`%s` writes to the console from inside lib/" ident,
+        "return the string, or emit through lib/output (Output.Emit) or \
+         Logs" )
+  else if List.mem ident r5_obj then
+    Some
+      ( "R5",
+        Printf.sprintf "`%s` defeats the type system" ident,
+        "restructure the types; Obj is never sanctioned in this repo" )
+  else None
+
+(* -- AST walk ------------------------------------------------------ *)
+
+let findings_of_structure ~path structure =
+  let acc = ref [] in
+  let add ~loc ~ident (rule, message, hint) =
+    let pos = loc.Location.loc_start in
+    acc :=
+      Finding.v ~rule ~file:path ~line:pos.Lexing.pos_lnum
+        ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+        ~ident ~message ~hint
+      :: !acc
+  in
+  let visit_path ~loc txt =
+    let ident = String.concat "." (Longident.flatten txt) in
+    match check_ident ~path ident with
+    | Some hit -> add ~loc ~ident hit
+    | None -> ()
+  in
+  let open Ast_iterator in
+  let expr this (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> visit_path ~loc txt
+    | Pexp_new { txt; loc } -> visit_path ~loc txt
+    | _ -> ());
+    default_iterator.expr this e
+  in
+  let module_expr this (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> visit_path ~loc txt
+    | _ -> ());
+    default_iterator.module_expr this m
+  in
+  let iterator = { default_iterator with expr; module_expr } in
+  iterator.structure iterator structure;
+  List.sort Finding.compare !acc
+
+let parse_error_finding ~path exn =
+  let message =
+    match Location.error_of_exn exn with
+    | Some (`Ok _) | Some `Already_displayed -> "source failed to parse"
+    | None -> Printexc.to_string exn
+  in
+  [ Finding.v ~rule:"E0" ~file:path ~line:0 ~col:0 ~ident:"<parse>"
+      ~message:("unparsable source: " ^ message)
+      ~hint:"fix the syntax error; the lint only certifies what it can parse"
+  ]
+
+(* [path] is the repo-relative logical path used for rule scoping;
+   [source] is the file contents.  Splitting the two keeps the rules
+   testable on synthetic sources. *)
+let lint_source ~path source =
+  let path = normalize path in
+  if Filename.check_suffix path ".mli" then []
+  else
+    let lexbuf = Lexing.from_string source in
+    Location.init lexbuf path;
+    match Parse.implementation lexbuf with
+    | structure -> findings_of_structure ~path structure
+    | exception exn -> parse_error_finding ~path exn
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* -- file discovery and file-level checks -------------------------- *)
+
+let rec collect_files acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc e -> collect_files acc (Filename.concat path e)) acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then normalize path :: acc
+  else acc
+
+let collect roots =
+  List.rev (List.fold_left collect_files [] roots) |> List.sort String.compare
+
+(* R5, file level: every module under lib/ carries an interface. *)
+let missing_mli_findings files =
+  let files = List.map normalize files in
+  List.filter_map
+    (fun f ->
+      if
+        in_lib f
+        && Filename.check_suffix f ".ml"
+        && not (List.mem (f ^ "i") files)
+      then
+        Some
+          (Finding.v ~rule:"R5" ~file:f ~line:0 ~col:0 ~ident:"<missing-mli>"
+             ~message:"lib module without an .mli interface"
+             ~hint:"add an .mli; lib surfaces are sealed by interface")
+      else None)
+    files
+
+let lint_files files =
+  let ast_findings =
+    List.concat_map (fun f -> lint_source ~path:f (read_file f)) files
+  in
+  List.sort Finding.compare (ast_findings @ missing_mli_findings files)
