@@ -585,9 +585,16 @@ let pp_answer_value ppf (v : Engine.Answer.value) =
       Format.fprintf ppf "%.6g [%.6g, %.6g]" mean ci_lo ci_hi
 
 let print_provenance (a : Engine.Answer.t) =
-  Format.printf "backend = %s, evals = %d, wall = %.3f ms@." a.Engine.Answer.backend
-    a.Engine.Answer.evals
+  Format.printf "backend = %s, evals = %d, wall = %.3f ms%s@."
+    a.Engine.Answer.backend a.Engine.Answer.evals
     (Int64.to_float a.Engine.Answer.wall_ns /. 1e6)
+    (if a.Engine.Answer.cached then " (cached)" else "")
+
+let no_cache_term =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the answer cache (values are identical either way; \
+                 only provenance and repeat-query cost change).")
 
 let query_cmd =
   let quantity =
@@ -622,7 +629,8 @@ let query_cmd =
          & info [ "sweep-n" ] ~docv:"N"
              ~doc:"Sweep n over 1..N instead of the single point.")
   in
-  let run p n r quantity backend trials seed r_sweep n_max =
+  let run p n r quantity backend trials seed r_sweep n_max no_cache =
+    if no_cache then Engine.Cache.set_enabled false;
     match quantity_conv quantity with
     | `Error _ as e -> e
     | `Ok qty -> (
@@ -643,7 +651,7 @@ let query_cmd =
                   ~r
             | None, None -> Engine.Query.point ~accuracy qty p ~n ~r
           in
-          Engine.Planner.eval ?backend q
+          Engine.Executor.eval ?backend q
         with
         | a ->
             Format.printf "%s of %s@."
@@ -664,7 +672,7 @@ let query_cmd =
        ~doc:"Evaluate any model quantity through the backend-agnostic query \
              engine (with provenance).")
     Term.(ret (const run $ scenario_term $ n_term $ r_term $ quantity $ backend
-               $ trials $ seed $ r_sweep $ n_max))
+               $ trials $ seed $ r_sweep $ n_max $ no_cache_term))
 
 let crosscheck_cmd =
   let quantity =
@@ -680,7 +688,8 @@ let crosscheck_cmd =
     Arg.(value & opt int Engine.Crosscheck.default_seed
          & info [ "seed" ] ~doc:"Monte-Carlo RNG seed.")
   in
-  let run p n r quantity trials seed =
+  let run p n r quantity trials seed no_cache =
+    if no_cache then Engine.Cache.set_enabled false;
     let quantities =
       match quantity with
       | None -> `Ok [ Engine.Query.Mean_cost; Engine.Query.Error_probability ]
@@ -733,7 +742,183 @@ let crosscheck_cmd =
        ~doc:"Run one query on every capable backend and report the maximum \
              relative divergence.")
     Term.(ret (const run $ scenario_term $ n_term $ r_term $ quantity $ trials
-               $ seed))
+               $ seed $ no_cache_term))
+
+(* One query per line: QUANTITY [key=value ...].  Keys: scenario=NAME,
+   n=INT, r=FLOAT, ns=LO:HI (inclusive int range), rs=LO:HI:POINTS
+   (linear grid), backend=NAME, trials=INT, seed=INT.  '#' starts a
+   comment; blank lines are skipped. *)
+let parse_batch_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let fail msg = failwith (Printf.sprintf "line %d: %s" lineno msg) in
+  let tokens =
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> None
+  | qname :: rest ->
+      let qty =
+        match Engine.Query.quantity_of_name qname with
+        | Some q -> q
+        | None -> fail (Printf.sprintf "unknown quantity %s" qname)
+      in
+      let scenario = ref Zeroconf.Params.figure2 in
+      let n = ref 4 and r = ref 2. in
+      let ns = ref None and rs = ref None in
+      let backend = ref None in
+      let trials = ref Engine.Crosscheck.default_trials in
+      let seed = ref Engine.Crosscheck.default_seed in
+      let int_of key v =
+        match int_of_string_opt v with
+        | Some i -> i
+        | None -> fail (Printf.sprintf "%s=%s is not an integer" key v)
+      in
+      let float_of key v =
+        match float_of_string_opt v with
+        | Some x -> x
+        | None -> fail (Printf.sprintf "%s=%s is not a number" key v)
+      in
+      List.iter
+        (fun tok ->
+          let key, value =
+            match String.index_opt tok '=' with
+            | Some i ->
+                ( String.sub tok 0 i,
+                  String.sub tok (i + 1) (String.length tok - i - 1) )
+            | None -> fail (Printf.sprintf "expected key=value, got %s" tok)
+          in
+          match key with
+          | "scenario" -> (
+              match List.assoc_opt value Zeroconf.Params.presets with
+              | Some p -> scenario := p
+              | None -> fail (Printf.sprintf "unknown scenario %s" value))
+          | "n" -> n := int_of key value
+          | "r" -> r := float_of key value
+          | "ns" -> (
+              match String.split_on_char ':' value with
+              | [ lo; hi ] ->
+                  let lo = int_of key lo and hi = int_of key hi in
+                  if hi < lo then fail "ns range is empty";
+                  ns := Some (Array.init (hi - lo + 1) (fun i -> lo + i))
+              | _ -> fail "ns expects LO:HI")
+          | "rs" -> (
+              match String.split_on_char ':' value with
+              | [ lo; hi; points ] ->
+                  rs :=
+                    Some
+                      (Numerics.Grid.linspace (float_of key lo)
+                         (float_of key hi) (int_of key points))
+              | _ -> fail "rs expects LO:HI:POINTS")
+          | "backend" -> backend := Some value
+          | "trials" -> trials := int_of key value
+          | "seed" -> seed := int_of key value
+          | _ -> fail (Printf.sprintf "unknown key %s" key))
+        rest;
+      let accuracy =
+        if !backend = Some "mc" then
+          Engine.Query.Sampled { trials = !trials; seed = !seed }
+        else Engine.Query.Exact
+      in
+      let query =
+        match (!ns, !rs) with
+        | Some _, Some _ -> fail "ns and rs are mutually exclusive"
+        | Some ns, None ->
+            Engine.Query.n_sweep ~accuracy qty !scenario ~ns ~r:!r
+        | None, Some rs ->
+            Engine.Query.r_sweep ~accuracy qty !scenario ~n:!n ~rs
+        | None, None -> Engine.Query.point ~accuracy qty !scenario ~n:!n ~r:!r
+      in
+      Some (query, !backend)
+
+let batch_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERIES"
+             ~doc:"File with one query per line ('-' reads standard input). \
+                   Grammar: QUANTITY [scenario=NAME] [n=INT] [r=FLOAT] \
+                   [ns=LO:HI] [rs=LO:HI:POINTS] [backend=B] [trials=T] \
+                   [seed=S].  '#' starts a comment.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "cache-stats" ]
+             ~doc:"Append the answer-cache hit/miss statistics as a trailing \
+                   comment line.")
+  in
+  let run jobs file no_cache stats =
+    Cli_common.with_jobs jobs @@ fun () ->
+    if no_cache then Engine.Cache.set_enabled false;
+    let read_lines ic =
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines
+    in
+    let lines =
+      if file = "-" then read_lines stdin
+      else begin
+        let ic = open_in file in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_lines ic)
+      end
+    in
+    match
+      List.concat
+        (List.mapi
+           (fun i line ->
+             Option.to_list (parse_batch_line (i + 1) line))
+           lines)
+    with
+    | exception Failure msg -> `Error (false, msg)
+    | [] -> `Error (false, "no queries in the input")
+    | requests -> (
+        match
+          Array.of_list
+            (List.map
+               (fun (q, backend) -> Engine.Planner.plan ?backend q)
+               requests)
+        with
+        | exception Engine.Planner.Unsupported msg -> `Error (false, msg)
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | plans ->
+            let answers = Engine.Executor.run_batch plans in
+            Array.iteri
+              (fun i (pl : Engine.Plan.t) ->
+                let a = answers.(i) in
+                let q = pl.Engine.Plan.query in
+                Array.iter
+                  (fun (pt : Engine.Answer.point) ->
+                    Output.Emit.print_line
+                      (Format.asprintf "%s %s n=%d r=%g %a"
+                         (Engine.Query.quantity_name q.Engine.Query.quantity)
+                         q.Engine.Query.scenario.Zeroconf.Params.name
+                         pt.Engine.Answer.n pt.Engine.Answer.r pp_answer_value
+                         pt.Engine.Answer.value))
+                  a.Engine.Answer.points;
+                Output.Emit.print_line
+                  (Printf.sprintf "# backend=%s evals=%d cached=%b"
+                     a.Engine.Answer.backend a.Engine.Answer.evals
+                     a.Engine.Answer.cached))
+              plans;
+            if stats then
+              Output.Emit.print_line
+                (Format.asprintf "# cache: %a" Engine.Cache.pp_stats
+                   (Engine.Cache.stats Engine.Cache.default));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Evaluate a list of queries as one batch: cache hits first, the \
+             rest grouped per backend so shared work amortizes.")
+    Term.(ret (const run $ Cli_common.jobs_term $ file $ no_cache_term $ stats))
 
 let () =
   let info =
@@ -746,4 +931,5 @@ let () =
           [ cost_cmd; optimal_r_cmd; optimal_n_cmd; assess_cmd; nu_cmd;
             calibrate_cmd; simulate_cmd; curve_cmd; latency_cmd; refine_cmd;
             pareto_cmd; maintenance_cmd; export_cmd; workload_cmd; adaptive_cmd;
-            report_cmd; fit_cmd; check_cmd; query_cmd; crosscheck_cmd ]))
+            report_cmd; fit_cmd; check_cmd; query_cmd; crosscheck_cmd;
+            batch_cmd ]))

@@ -8,6 +8,7 @@ type t = {
   backend : string;
   evals : int;
   wall_ns : int64;
+  cached : bool;
   points : point array;
 }
 

@@ -19,8 +19,18 @@ type point = { n : int; r : float; value : value }
 
 type t = {
   backend : string;   (** {!Backend.S.name} of the route that ran. *)
-  evals : int;        (** Elementary evaluations performed. *)
-  wall_ns : int64;    (** Wall-clock nanoseconds spent in [eval]. *)
+  evals : int;        (** Elementary evaluations performed.  Batched
+                          executions attribute shared work to the plan
+                          whose point triggered it, so evals summed
+                          over a batch equal the work actually done. *)
+  wall_ns : int64;    (** Wall-clock nanoseconds spent in [eval]; for
+                          an answer computed inside a batch, the wall
+                          time of the whole batch. *)
+  cached : bool;      (** [true] when this answer was served from the
+                          {!Cache} instead of a backend run; every
+                          other field (including [evals] and
+                          [wall_ns]) describes the original run, so
+                          values are byte-identical either way. *)
   points : point array;  (** One per domain point, in sweep order. *)
 }
 

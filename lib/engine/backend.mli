@@ -2,7 +2,8 @@
 
 module type S = sig
   val name : string
-  (** Stable identifier: ["analytic"], ["kernel"], ["dtmc"] or ["mc"]. *)
+  (** Stable identifier: ["analytic"], ["kernel"], ["dtmc"] or ["mc"].
+      Matches {!Plan.route_name} of the route this module serves. *)
 
   val supports : Query.t -> bool
   (** Whether this route can answer the query — quantity, domain and
@@ -12,5 +13,19 @@ module type S = sig
   val eval : ?pool:Exec.Pool.t -> Query.t -> Answer.t
   (** Answer the query.  Sweeps fan out over [pool] (default:
       {!Exec.Pool.get}) where the route parallelizes; results are
-      bit-identical at every job count. *)
+      bit-identical at every job count.  Exactly the singleton case of
+      {!eval_batch}. *)
+
+  val eval_batch : ?pool:Exec.Pool.t -> Plan.t array -> Answer.t array
+  (** Answer a batch of plans, all routed to this backend, amortizing
+      shared work across them: the kernel streams one cursor per
+      [(scenario, r)] column, the DTMC route builds each distinct
+      matrix once, Monte Carlo keeps every plan on its own seed
+      stream.  Answers come back in plan order, and every point is
+      bitwise identical to evaluating the plans one by one — batching
+      changes cost, never values.  Each answer's [evals] counts the
+      work its plan triggered, so evals summed over the batch equal
+      the work actually done; [wall_ns] is the whole batch's wall
+      time.  Raises [Invalid_argument] on a plan routed elsewhere or
+      not supported. *)
 end

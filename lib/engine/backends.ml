@@ -5,15 +5,61 @@ let time_ns f =
   (x, Int64.of_float (Float.max 0. ((t1 -. t0) *. 1e9)))
 
 let answer ~backend ~evals ~wall_ns points =
-  { Answer.backend; evals; wall_ns; points }
+  { Answer.backend; evals; wall_ns; cached = false; points }
 
-let scalar_points q values =
-  Array.map2
-    (fun (n, r) v -> { Answer.n; r; value = Answer.Scalar v })
-    (Query.points q) values
+let scalar_points pts values =
+  Array.map2 (fun (n, r) v -> { Answer.n; r; value = Answer.Scalar v }) pts values
 
 let not_sampled (q : Query.t) =
   match q.accuracy with Query.Sampled _ -> false | _ -> true
+
+let check_batch ~name ~route ~supports (plans : Plan.t array) =
+  Array.iter
+    (fun (pl : Plan.t) ->
+      if pl.route <> route then
+        invalid_arg
+          (Printf.sprintf "Backends.%s: plan routed to %s" name
+             (Plan.route_name pl.route));
+      if not (supports pl.query) then
+        invalid_arg (Printf.sprintf "Backends.%s: unsupported query" name))
+    plans
+
+(* Index every output point of every plan by a grouping key; groups keep
+   first-appearance order so batch execution is deterministic. *)
+let group_points ~key (plans : Plan.t array) =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  Array.iteri
+    (fun pi (pl : Plan.t) ->
+      (* consecutive points of a plan usually share a key (an n-sweep
+         is one column), so remember the last group and skip the table *)
+      let last = ref None in
+      Array.iteri
+        (fun qi (n, r) ->
+          let k = key pl n r in
+          let g =
+            match !last with
+            | Some (lk, g) when lk = k -> g
+            | _ ->
+                let g =
+                  match Hashtbl.find_opt tbl k with
+                  | Some g -> g
+                  | None ->
+                      let g = ref [] in
+                      Hashtbl.add tbl k g;
+                      order := (pl, n, r, g) :: !order;
+                      g
+                in
+                last := Some (k, g);
+                g
+          in
+          g := (pi, qi, n) :: !g)
+        pl.points)
+    plans;
+  Array.of_list
+    (List.rev_map
+       (fun (pl, n, r, g) -> (pl, n, r, Array.of_list (List.rev !g)))
+       !order)
 
 module Analytic = struct
   let name = "analytic"
@@ -38,15 +84,26 @@ module Analytic = struct
     | Query.Cost_variance ->
         invalid_arg "Backends.Analytic: cost variance is DRM-only"
 
+  let eval_batch ?pool (plans : Plan.t array) =
+    check_batch ~name:"Analytic" ~route:Plan.Analytic ~supports plans;
+    let groups =
+      Array.map
+        (fun (pl : Plan.t) -> Array.map (fun (n, r) -> (pl.query, n, r)) pl.points)
+        plans
+    in
+    let values, wall_ns =
+      time_ns (fun () ->
+          Exec.Parallel.map_groups ?pool (fun (q, n, r) -> eval1 q n r) groups)
+    in
+    Array.mapi
+      (fun pi (pl : Plan.t) ->
+        answer ~backend:name ~evals:(Array.length pl.points) ~wall_ns
+          (scalar_points pl.points values.(pi)))
+      plans
+
   let eval ?pool (q : Query.t) =
     if not (supports q) then invalid_arg "Backends.Analytic: unsupported query";
-    Query.validate q;
-    let pts = Query.points q in
-    let values, wall_ns =
-      time_ns (fun () -> Exec.Parallel.map ?pool (fun (n, r) -> eval1 q n r) pts)
-    in
-    answer ~backend:name ~evals:(Array.length pts) ~wall_ns
-      (scalar_points q values)
+    (eval_batch ?pool [| Plan.make ~route:Plan.Analytic q |]).(0)
 end
 
 module Kernel = struct
@@ -59,14 +116,6 @@ module Kernel = struct
     | Query.Mean_cost | Query.Error_probability | Query.Log10_error -> true
     | Query.Cost_variance | Query.Latency_mean -> false
 
-  let one_shot (q : Query.t) ~n ~r =
-    let p = q.scenario in
-    match q.quantity with
-    | Query.Mean_cost -> Zeroconf.Kernel.cost_at p ~n ~r
-    | Query.Error_probability -> Zeroconf.Kernel.error_probability_at p ~n ~r
-    | Query.Log10_error -> Zeroconf.Kernel.log10_error_at p ~n ~r
-    | _ -> invalid_arg "Backends.Kernel: unsupported quantity"
-
   let read (q : Query.t) k =
     match q.quantity with
     | Query.Mean_cost -> Zeroconf.Kernel.cost k
@@ -74,49 +123,186 @@ module Kernel = struct
     | Query.Log10_error -> Zeroconf.Kernel.log10_error k
     | _ -> invalid_arg "Backends.Kernel: unsupported quantity"
 
+  (* A column's stops live in parallel unboxed arrays (ns/pis/qis), not
+     per-stop tuples: the batch path is only a win if its bookkeeping
+     allocates less than the cursor work it saves, and 50k boxed stops
+     cost more than the scan itself on point-dense batches. *)
+  type column = {
+    pl0 : Plan.t;          (* first plan of the column: scenario + r *)
+    r : float;
+    mutable fill : int;    (* next free stop slot during the fill pass *)
+    ns : int array;
+    pis : int array;
+    qis : int array;
+  }
+
+  (* One streaming cursor per (scenario, r) column, amortized across
+     every plan in the batch.  The cursor state at n does not depend on
+     where reads happen, so merging plans' stops onto a shared scan is
+     bitwise identical to running each plan alone; columns fan out over
+     the pool.  Advances between consecutive stops are attributed to
+     the plan owning the later stop, so per-plan evals sum to the scan
+     work actually done. *)
+  let eval_batch ?pool (plans : Plan.t array) =
+    check_batch ~name:"Kernel" ~route:Plan.Kernel ~supports plans;
+    (* pass 1: assign column indices in first-appearance order, count
+       stops per column, and remember each stop's column in a flat
+       array so pass 2 never re-hashes *)
+    let tbl = Hashtbl.create 32 in
+    let reps = ref [] in
+    let ncols = ref 0 in
+    let counts = ref (Array.make 16 0) in
+    let total =
+      Array.fold_left
+        (fun acc (pl : Plan.t) -> acc + Array.length pl.points)
+        0 plans
+    in
+    let stop_col = Array.make total 0 in
+    let slot = ref 0 in
+    Array.iter
+      (fun (pl : Plan.t) ->
+        (* consecutive points of a plan usually share a column (an
+           n-sweep is one), so skip the table when the bits repeat *)
+        let last_bits = ref 0L and last_c = ref (-1) in
+        Array.iter
+          (fun (_n, r) ->
+            let bits = Int64.bits_of_float r in
+            let c =
+              if !last_c >= 0 && Int64.equal bits !last_bits then !last_c
+              else begin
+                let c =
+                  let key = (pl.scenario_id, bits) in
+                  match Hashtbl.find_opt tbl key with
+                  | Some c -> c
+                  | None ->
+                      let c = !ncols in
+                      incr ncols;
+                      Hashtbl.add tbl key c;
+                      reps := (pl, r) :: !reps;
+                      if c >= Array.length !counts then begin
+                        let bigger = Array.make (2 * c) 0 in
+                        Array.blit !counts 0 bigger 0 (Array.length !counts);
+                        counts := bigger
+                      end;
+                      c
+                in
+                last_bits := bits;
+                last_c := c;
+                c
+              end
+            in
+            !counts.(c) <- !counts.(c) + 1;
+            stop_col.(!slot) <- c;
+            incr slot)
+          pl.points)
+      plans;
+    let reps = Array.of_list (List.rev !reps) in
+    let cols =
+      Array.init !ncols (fun c ->
+          let size = !counts.(c) in
+          let pl0, r = reps.(c) in
+          { pl0; r; fill = 0; ns = Array.make size 0;
+            pis = Array.make size 0; qis = Array.make size 0 })
+    in
+    (* pass 2: fill; flat slot order is ascending (pi, qi), so each
+       column's stop arrays come out sorted by batch position *)
+    let slot = ref 0 in
+    Array.iteri
+      (fun pi (pl : Plan.t) ->
+        Array.iteri
+          (fun qi (n, _r) ->
+            let col = cols.(stop_col.(!slot)) in
+            incr slot;
+            let j = col.fill in
+            col.fill <- j + 1;
+            col.ns.(j) <- n;
+            col.pis.(j) <- pi;
+            col.qis.(j) <- qi)
+          pl.points)
+      plans;
+    let run_column (col : column) =
+      let size = Array.length col.ns in
+      (* scan permutation: ascending n, ties by fill order — i.e. by
+         (n, pi, qi), purely so the scan is deterministic; tied stops
+         read the same cursor state.  r-sweep batches fill each column
+         already ascending; merged n-sweep columns are a few ascending
+         runs, where a stable counting sort by n beats comparison
+         sorting the interleave.  (Comparison sort stays as the
+         fallback for columns whose n range dwarfs their stop count.) *)
+      let ns = col.ns in
+      let sorted = ref true in
+      for j = 1 to size - 1 do
+        if ns.(j) < ns.(j - 1) then sorted := false
+      done;
+      let idx =
+        if !sorted then Array.init size Fun.id
+        else
+          let max_n = Array.fold_left Int.max 0 ns in
+          if max_n > (16 * size) + 1024 then begin
+            let idx = Array.init size Fun.id in
+            Array.sort
+              (fun a b ->
+                let c = Int.compare ns.(a) ns.(b) in
+                if c <> 0 then c else Int.compare a b)
+              idx;
+            idx
+          end
+          else begin
+            let buckets = Array.make (max_n + 1) 0 in
+            Array.iter (fun n -> buckets.(n) <- buckets.(n) + 1) ns;
+            let acc = ref 0 in
+            for n = 0 to max_n do
+              let c = buckets.(n) in
+              buckets.(n) <- !acc;
+              acc := !acc + c
+            done;
+            let idx = Array.make size 0 in
+            Array.iteri
+              (fun j n ->
+                idx.(buckets.(n)) <- j;
+                buckets.(n) <- buckets.(n) + 1)
+              ns;
+            idx
+          end
+      in
+      let k = Zeroconf.Kernel.create col.pl0.query.Query.scenario ~r:col.r in
+      let at = ref 0 in
+      let vals = Array.make size 0. in
+      let works = Array.make size 0 in
+      Array.iter
+        (fun i ->
+          let n = ns.(i) in
+          Zeroconf.Kernel.advance_to k ~n;
+          vals.(i) <- read plans.(col.pis.(i)).Plan.query k;
+          works.(i) <- max 0 (n - !at);
+          at := max !at n)
+        idx;
+      (vals, works)
+    in
+    let results, wall_ns =
+      time_ns (fun () -> Exec.Parallel.map ?pool run_column cols)
+    in
+    let values =
+      Array.map (fun (pl : Plan.t) -> Array.make (Array.length pl.points) 0.) plans
+    in
+    let evals = Array.make (Array.length plans) 0 in
+    Array.iteri
+      (fun c (vals, works) ->
+        let col = cols.(c) in
+        for j = 0 to Array.length col.ns - 1 do
+          values.(col.pis.(j)).(col.qis.(j)) <- vals.(j);
+          evals.(col.pis.(j)) <- evals.(col.pis.(j)) + works.(j)
+        done)
+      results;
+    Array.mapi
+      (fun pi (pl : Plan.t) ->
+        answer ~backend:name ~evals:evals.(pi) ~wall_ns
+          (scalar_points pl.points values.(pi)))
+      plans
+
   let eval ?pool (q : Query.t) =
     if not (supports q) then invalid_arg "Backends.Kernel: unsupported query";
-    Query.validate q;
-    match q.domain with
-    | Query.Point { n; r } ->
-        let v, wall_ns = time_ns (fun () -> one_shot q ~n ~r) in
-        answer ~backend:name ~evals:n ~wall_ns
-          [| { Answer.n; r; value = Answer.Scalar v } |]
-    | Query.R_sweep { n; rs } ->
-        (* the figure builders' historical sweep, verbatim: one one-shot
-           cursor per grid point, fanned out over the pool *)
-        let pairs, wall_ns =
-          time_ns (fun () ->
-              Exec.Parallel.map_sweep ?pool (fun r -> one_shot q ~n ~r) rs)
-        in
-        let points =
-          Array.map
-            (fun (r, v) -> { Answer.n; r; value = Answer.Scalar v })
-            pairs
-        in
-        answer ~backend:name ~evals:(n * Array.length rs) ~wall_ns points
-    | Query.N_sweep { ns; r } ->
-        (* one forward cursor serves the whole sweep: visit the probe
-           counts in ascending order, scatter back to sweep order *)
-        let count = Array.length ns in
-        let order = Array.init count Fun.id in
-        Array.sort (fun i j -> compare ns.(i) ns.(j)) order;
-        let values = Array.make count 0. in
-        let (), wall_ns =
-          time_ns (fun () ->
-              let k = Zeroconf.Kernel.create q.scenario ~r in
-              Array.iter
-                (fun i ->
-                  Zeroconf.Kernel.advance_to k ~n:ns.(i);
-                  values.(i) <- read q k)
-                order)
-        in
-        let points =
-          Array.mapi
-            (fun i n -> { Answer.n; r; value = Answer.Scalar values.(i) })
-            ns
-        in
-        answer ~backend:name ~evals:(Array.fold_left max 0 ns) ~wall_ns points
+    (eval_batch ?pool [| Plan.make ~route:Plan.Kernel q |]).(0)
 end
 
 module Dtmc = struct
@@ -134,24 +320,54 @@ module Dtmc = struct
        | Query.Latency_mean -> false)
     && Array.for_all (fun (n, _) -> n <= max_n) (Query.points q)
 
-  let eval1 (q : Query.t) n r =
-    let drm = Zeroconf.Drm.build q.scenario ~n ~r in
-    match q.quantity with
+  let value_of drm = function
     | Query.Mean_cost -> Zeroconf.Drm.mean_cost drm
     | Query.Error_probability -> Zeroconf.Drm.error_probability drm
     | Query.Log10_error -> Float.log10 (Zeroconf.Drm.error_probability drm)
     | Query.Cost_variance -> Zeroconf.Drm.cost_variance drm
     | Query.Latency_mean -> invalid_arg "Backends.Dtmc: no latency route"
 
+  (* One matrix build per distinct (scenario, n, r) in the whole batch;
+     every requesting point reads its own quantity from the shared
+     solve.  The build is attributed to the point that requested it
+     first; later readers of the same matrix cost nothing. *)
+  let eval_batch ?pool (plans : Plan.t array) =
+    check_batch ~name:"Dtmc" ~route:Plan.Dtmc ~supports plans;
+    let builds =
+      group_points plans ~key:(fun (pl : Plan.t) n r ->
+          (pl.scenario_id, n, Int64.bits_of_float r))
+    in
+    let run_build ((pl0 : Plan.t), n, r, readers) =
+      let drm = Zeroconf.Drm.build pl0.query.Query.scenario ~n ~r in
+      Array.mapi
+        (fun i (pi, qi, _n) ->
+          ( pi,
+            qi,
+            value_of drm plans.(pi).Plan.query.Query.quantity,
+            if i = 0 then 1 else 0 ))
+        readers
+    in
+    let results, wall_ns =
+      time_ns (fun () -> Exec.Parallel.map ?pool run_build builds)
+    in
+    let values =
+      Array.map (fun (pl : Plan.t) -> Array.make (Array.length pl.points) 0.) plans
+    in
+    let evals = Array.make (Array.length plans) 0 in
+    Array.iter
+      (Array.iter (fun (pi, qi, v, work) ->
+           values.(pi).(qi) <- v;
+           evals.(pi) <- evals.(pi) + work))
+      results;
+    Array.mapi
+      (fun pi (pl : Plan.t) ->
+        answer ~backend:name ~evals:evals.(pi) ~wall_ns
+          (scalar_points pl.points values.(pi)))
+      plans
+
   let eval ?pool (q : Query.t) =
     if not (supports q) then invalid_arg "Backends.Dtmc: unsupported query";
-    Query.validate q;
-    let pts = Query.points q in
-    let values, wall_ns =
-      time_ns (fun () -> Exec.Parallel.map ?pool (fun (n, r) -> eval1 q n r) pts)
-    in
-    answer ~backend:name ~evals:(Array.length pts) ~wall_ns
-      (scalar_points q values)
+    (eval_batch ?pool [| Plan.make ~route:Plan.Dtmc q |]).(0)
 end
 
 module Mc = struct
@@ -203,21 +419,43 @@ module Mc = struct
         Answer.Interval { mean; ci_lo; ci_hi }
     | _ -> invalid_arg "Backends.Mc: unsupported quantity"
 
-  let eval ?pool (q : Query.t) =
-    if not (supports q) then invalid_arg "Backends.Mc: unsupported query";
-    Query.validate q;
-    let trials, seed =
-      match q.accuracy with
-      | Query.Sampled { trials; seed } -> (trials, seed)
-      | _ -> assert false
+  let accuracy_of (pl : Plan.t) =
+    match pl.query.Query.accuracy with
+    | Query.Sampled { trials; seed } -> (trials, seed)
+    | _ -> assert false (* supports demands Sampled *)
+
+  (* Statistical plans keep their own seed streams: batching groups the
+     trial work for the scheduler but never mixes rngs, so a batch is
+     bitwise the same as evaluating each plan alone. *)
+  let eval_batch ?pool (plans : Plan.t array) =
+    check_batch ~name:"Mc" ~route:Plan.Mc ~supports plans;
+    let groups =
+      Array.map
+        (fun (pl : Plan.t) ->
+          let trials, seed = accuracy_of pl in
+          Array.mapi (fun i (n, r) -> (pl.query, trials, seed, i, n, r)) pl.points)
+        plans
     in
-    let pts = Query.points q in
     let values, wall_ns =
       time_ns (fun () ->
-          Exec.Parallel.init ?pool (Array.length pts) (fun i ->
-              let n, r = pts.(i) in
-              eval1 q ~trials ~seed i n r))
+          Exec.Parallel.map_groups ?pool
+            (fun (q, trials, seed, i, n, r) -> eval1 q ~trials ~seed i n r)
+            groups)
     in
-    let points = Array.map2 (fun (n, r) value -> { Answer.n; r; value }) pts values in
-    answer ~backend:name ~evals:(trials * Array.length pts) ~wall_ns points
+    Array.mapi
+      (fun pi (pl : Plan.t) ->
+        let trials, _ = accuracy_of pl in
+        let points =
+          Array.map2
+            (fun (n, r) value -> { Answer.n; r; value })
+            pl.points values.(pi)
+        in
+        answer ~backend:name
+          ~evals:(trials * Array.length pl.points)
+          ~wall_ns points)
+      plans
+
+  let eval ?pool (q : Query.t) =
+    if not (supports q) then invalid_arg "Backends.Mc: unsupported query";
+    (eval_batch ?pool [| Plan.make ~route:Plan.Mc q |]).(0)
 end

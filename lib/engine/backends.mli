@@ -16,7 +16,14 @@
        the scenario's [F_X] under the DRM's period-boundary semantics
        and reports 95% confidence intervals.  Only answers [Sampled]
        queries; occupancy is [round (q * 65024)] hosts so [q] matches
-       {!Zeroconf.Params.q_of_hosts}.}} *)
+       {!Zeroconf.Params.q_of_hosts}.}}
+
+    Every route implements [eval_batch]: the kernel amortizes one
+    streaming cursor per [(scenario, r)] column across the batch, the
+    DTMC route builds each distinct matrix once, the analytic and
+    Monte-Carlo routes flatten the batch into one balanced fan-out
+    (Monte Carlo keeping each plan's seed stream intact).  Batched
+    values are bitwise identical to scalar evaluation. *)
 
 module Analytic : Backend.S
 module Kernel : Backend.S

@@ -1,0 +1,78 @@
+type entry = { answer : Answer.t; stored_at : float }
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  stored_since : float option;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { table = Hashtbl.create 64; capacity; hits = 0; misses = 0 }
+
+let lookup t (plan : Plan.t) =
+  match Hashtbl.find_opt t.table (Plan.key plan) with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      (* the stored answer keeps the original run's provenance; only
+         the cached flag distinguishes a hit, so values round-trip
+         byte-identically *)
+      Some { e.answer with Answer.cached = true }
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t (plan : Plan.t) (answer : Answer.t) =
+  (* capacity backstop: a wholesale reset is deterministic and keeps
+     the table bounded without an eviction order to maintain; workloads
+     here are sweeps that either fit or don't *)
+  if
+    Hashtbl.length t.table >= t.capacity
+    && not (Hashtbl.mem t.table (Plan.key plan))
+  then Hashtbl.reset t.table;
+  Hashtbl.replace t.table (Plan.key plan)
+    { answer = { answer with Answer.cached = false };
+      stored_at = Unix.gettimeofday () }
+
+let stats t =
+  let stored_since =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | None -> Some e.stored_at
+        | Some s -> Some (Float.min s e.stored_at))
+      t.table None
+  in
+  { hits = t.hits;
+    misses = t.misses;
+    entries = Hashtbl.length t.table;
+    stored_since }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0
+
+let pp_stats ppf s =
+  let total = s.hits + s.misses in
+  Format.fprintf ppf "%d hit%s / %d lookup%s (%d entr%s)" s.hits
+    (if s.hits = 1 then "" else "s")
+    total
+    (if total = 1 then "" else "s")
+    s.entries
+    (if s.entries = 1 then "y" else "ies")
+
+(* the process-wide default, gated by an explicit off switch *)
+
+let default = create ()
+let enabled_flag = ref true
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag

@@ -18,16 +18,22 @@ let rel_divergence a b =
 let run ?pool ?(trials = default_trials) ?(seed = default_seed) (q : Query.t) =
   Query.validate q;
   let exact_q = { q with accuracy = Query.Exact } in
+  (* each route forced by name through the executor: plan keys include
+     the route, so the answer cache keeps the three exact runs apart
+     while still serving repeat crosschecks out of the table *)
   let exact_answers =
     List.filter_map
       (fun (module B : Backend.S) ->
-        if B.supports exact_q then Some (B.eval ?pool exact_q) else None)
+        if B.supports exact_q then
+          Some (Executor.eval ?pool ~backend:B.name exact_q)
+        else None)
       [ (module Backends.Analytic); (module Backends.Kernel);
         (module Backends.Dtmc) ]
   in
   let mc_q = { q with accuracy = Query.Sampled { trials; seed } } in
   let mc_answer =
-    if Backends.Mc.supports mc_q then Some (Backends.Mc.eval ?pool mc_q)
+    if Backends.Mc.supports mc_q then
+      Some (Executor.eval ?pool ~backend:Backends.Mc.name mc_q)
     else None
   in
   let size = Query.size q in

@@ -17,21 +17,26 @@ let default_scenario () = Params.figure2
 let r_grid ~points ~lo ~hi = Numerics.Grid.linspace lo hi points
 
 (* Every figure below is a sweep of independent per-point evaluations.
-   The cost/error series route through the query engine — the planner
-   picks the streaming-kernel backend, whose r-sweeps are the
-   historical Exec.Parallel fan-out verbatim, so outputs stay
-   bit-identical at any job count.  The optimizer sweeps (figures 3, 4
-   and the fig. 6 envelope) stay on Optimize's kernel-backed n-scans,
-   which run under the same pool. *)
+   The cost/error series route through the query engine as ONE batch
+   per figure — the executor hands the kernel backend all per-n
+   r-sweeps together, so it streams a single cursor per r-column
+   serving every n at once; outputs stay bit-identical at any job
+   count, cache on or off.  The optimizer sweeps (figures 3, 4 and the
+   fig. 6 envelope) stay on Optimize's kernel-backed n-scans, which
+   run under the same pool. *)
 let sweep f grid = Exec.Parallel.map_sweep f grid
 
 let series_points (a : Answer.t) =
   Array.map (fun (pt : Answer.point) -> (pt.r, Answer.scalar pt)) a.points
 
-let cost_series p ~n grid =
-  { label = Printf.sprintf "C_%d" n;
-    points =
-      series_points (Planner.eval (Query.r_sweep Query.Mean_cost p ~n ~rs:grid)) }
+let series_batch quantity p ~label grid ns =
+  let queries =
+    Array.map (fun n -> Query.r_sweep quantity p ~n ~rs:grid) (Array.of_list ns)
+  in
+  let answers = Executor.eval_batch queries in
+  List.mapi
+    (fun i n -> { label = label n; points = series_points answers.(i) })
+    ns
 
 let figure2 ?scenario ?(points = 400) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -44,7 +49,11 @@ let figure2 ?scenario ?(points = 400) () =
     y_min = Some 0.;
     (* the paper's frame cuts off the astronomical n = 1, 2 curves *)
     y_max = Some 100.;
-    series = List.map (fun n -> cost_series p ~n grid) (List.init 8 (fun i -> i + 1)) }
+    series =
+      series_batch Query.Mean_cost p
+        ~label:(Printf.sprintf "C_%d")
+        grid
+        (List.init 8 (fun i -> i + 1)) }
 
 let figure3 ?scenario ?(points = 600) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -75,12 +84,6 @@ let figure4 ?scenario ?(points = 600) () =
     y_max = Some 100.;
     series = [ { label = "C_min"; points = Optimize.lower_envelope p grid } ] }
 
-let error_series p ~n grid =
-  { label = Printf.sprintf "E(%d, r)" n;
-    points =
-      series_points
-        (Planner.eval (Query.r_sweep Query.Log10_error p ~n ~rs:grid)) }
-
 let figure5 ?scenario ?(points = 400) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
   let grid = r_grid ~points ~lo:0.02 ~hi:6. in
@@ -91,7 +94,11 @@ let figure5 ?scenario ?(points = 400) () =
     log_y = false (* ordinate is already log10 *);
     y_min = Some (-60.);
     y_max = Some 0.;
-    series = List.map (fun n -> error_series p ~n grid) (List.init 8 (fun i -> i + 1)) }
+    series =
+      series_batch Query.Log10_error p
+        ~label:(Printf.sprintf "E(%d, r)")
+        grid
+        (List.init 8 (fun i -> i + 1)) }
 
 let figure6 ?scenario ?(points = 400) () =
   let p = Option.value ~default:(default_scenario ()) scenario in
@@ -121,16 +128,18 @@ let cost_landscape ?scenario ?(n_max = 10) ?(r_points = 24) ?(r_lo = 0.25)
   let p = Option.value ~default:(default_scenario ()) scenario in
   let ns = Array.init n_max (fun i -> i + 1) in
   let rs = r_grid ~points:r_points ~lo:r_lo ~hi:r_hi in
-  (* one n-sweep query per column: the kernel backend streams a single
-     cursor over the whole n-range (n_max survival evaluations instead
-     of O(n_max^2)); columns fan out across the pool and transpose into
-     the n-major rows *)
+  (* one n-sweep query per column, all submitted as one batch: the
+     kernel backend streams a single cursor over each column's n-range
+     (n_max survival evaluations instead of O(n_max^2)), columns fan
+     out across the pool, and the answers transpose into n-major rows *)
+  let answers =
+    Executor.eval_batch
+      (Array.map (fun r -> Query.n_sweep Query.Mean_cost p ~ns ~r) rs)
+  in
   let columns =
-    Exec.Parallel.map
-      (fun r ->
-        let a = Planner.eval (Query.n_sweep Query.Mean_cost p ~ns ~r) in
-        Array.map (fun pt -> log10 (Answer.scalar pt)) a.Answer.points)
-      rs
+    Array.map
+      (fun a -> Array.map (fun pt -> log10 (Answer.scalar pt)) a.Answer.points)
+      answers
   in
   { ns;
     rs;

@@ -1,0 +1,60 @@
+(** The compiled, executable form of a {!Query}.
+
+    The engine runs as a three-stage pipeline — compile, execute,
+    cache — and a plan is the hand-off between stages.  {!Planner.plan}
+    compiles a query into a plan: validated, its domain flattened to
+    concrete [(n, r)] points, its scenario interned, and its accuracy
+    resolved to a concrete {!route}.  The {!Executor} then dispatches
+    plans (singly or in batches) to backends; the {!Cache} indexes
+    answers by the plan's structural {!key}.
+
+    A plan is pure data: building one performs no evaluation. *)
+
+type route = Kernel | Analytic | Dtmc | Mc
+(** The concrete evaluation strategy the planner resolved to.  Kept as
+    a variant (not a backend module) so plans stay first-class data the
+    backends themselves can consume in [eval_batch]. *)
+
+val route_name : route -> string
+(** Stable lower-case identifier, matching {!Backend.S.name} of the
+    corresponding backend ([kernel], [analytic], [dtmc], [mc]). *)
+
+val route_of_name : string -> route option
+
+type t = private {
+  query : Query.t;        (** The originating request, untouched. *)
+  route : route;          (** Where the executor will send it. *)
+  scenario_id : int;      (** Interning id: plans with equal ids share a
+                              numerically identical scenario, which is
+                              what batch execution groups on. *)
+  points : (int * float) array;
+      (** The domain flattened to [(n, r)] pairs, in sweep order —
+          same as {!Query.points} of [query]. *)
+  key : string Lazy.t;    (** Stable structural cache key, computed on
+                              first use; read it through {!key}. *)
+}
+
+val make : route:route -> Query.t -> t
+(** Compile [query] to run on [route].  Re-validates the query (so
+    plans built from hand-assembled records are still safe), interns
+    the scenario, and computes the key.  Pure: no evaluation happens.
+    Prefer {!Planner.plan}, which picks the route for you. *)
+
+val scenario_id : Zeroconf.Params.t -> int
+(** Intern a scenario directly.  Physically equal scenarios always map
+    to the same id; distinct values whose structural fingerprint
+    (scalar fields plus survival-function probes at fixed abscissae)
+    agrees also share an id. *)
+
+val key : t -> string
+(** The structural key: quantity, route, scenario fingerprint, every
+    domain point (floats in hex, so no precision is lost), and the
+    accuracy demand.  Two queries that would produce bitwise identical
+    answers through the same route compile to equal keys; anything
+    that could change a single output bit — including the route, since
+    a forced backend may answer differently — changes the key. *)
+
+val size : t -> int
+(** Number of evaluation points. *)
+
+val pp : Format.formatter -> t -> unit

@@ -11,34 +11,46 @@ let backend_of_name name =
 
 (* cheapest first: the kernel's streaming cursors beat the per-point
    closed forms, which beat the cubic matrix solve *)
-let exact_order : (module Backend.S) list =
-  [ (module Backends.Kernel); (module Backends.Analytic);
-    (module Backends.Dtmc) ]
+let exact_order : (Plan.route * (module Backend.S)) list =
+  [ (Plan.Kernel, (module Backends.Kernel));
+    (Plan.Analytic, (module Backends.Analytic));
+    (Plan.Dtmc, (module Backends.Dtmc)) ]
 
-let plan (q : Query.t) =
+let route (q : Query.t) =
   Query.validate q;
   let candidates =
     match q.accuracy with
-    | Query.Sampled _ -> [ (module Backends.Mc : Backend.S) ]
+    | Query.Sampled _ -> [ (Plan.Mc, (module Backends.Mc : Backend.S)) ]
     | Query.Exact | Query.Within _ -> exact_order
   in
   match
-    List.find_opt (fun (module B : Backend.S) -> B.supports q) candidates
+    List.find_opt (fun (_, (module B : Backend.S)) -> B.supports q) candidates
   with
-  | Some b -> b
+  | Some (route, _) -> route
   | None ->
       raise (Unsupported (Format.asprintf "no backend supports: %a" Query.pp q))
 
-let eval ?pool ?backend q =
-  let (module B : Backend.S) =
-    match backend with
-    | None -> plan q
-    | Some name -> (
+let forced_route name (q : Query.t) =
+  match Plan.route_of_name name with
+  | None -> raise (Unsupported (Printf.sprintf "unknown backend %s" name))
+  | Some route ->
+      let (module B : Backend.S) =
         match backend_of_name name with
         | Some b -> b
-        | None -> raise (Unsupported (Printf.sprintf "unknown backend %s" name)))
-  in
-  if not (B.supports q) then
-    raise
-      (Unsupported (Format.asprintf "%s cannot answer: %a" B.name Query.pp q));
-  B.eval ?pool q
+        | None -> assert false (* route names and backend names coincide *)
+      in
+      if not (B.supports q) then
+        raise
+          (Unsupported (Format.asprintf "%s cannot answer: %a" B.name Query.pp q));
+      route
+
+let plan ?backend (q : Query.t) =
+  let r = match backend with None -> route q | Some name -> forced_route name q in
+  Plan.make ~route:r q
+
+let backend_of_route (r : Plan.route) : (module Backend.S) =
+  match r with
+  | Plan.Kernel -> (module Backends.Kernel)
+  | Plan.Analytic -> (module Backends.Analytic)
+  | Plan.Dtmc -> (module Backends.Dtmc)
+  | Plan.Mc -> (module Backends.Mc)

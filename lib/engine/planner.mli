@@ -1,12 +1,15 @@
-(** Backend selection: the cheapest route that meets the accuracy
-    demand.
+(** The compile stage: query in, plan out.
 
-    Deterministic demands ([Exact] / [Within]) try, in order,
+    Route selection picks the cheapest backend that meets the accuracy
+    demand.  Deterministic demands ([Exact] / [Within]) try, in order,
     {!Backends.Kernel} (O(1) amortized per point, survival memo), then
     {!Backends.Analytic} (covers latency), then {!Backends.Dtmc}
     (covers the cost variance).  [Sampled] demands route to
     {!Backends.Mc}.  The first backend whose [supports] accepts the
-    query wins. *)
+    query wins.
+
+    Planning is pure: it validates, routes, and keys — no backend
+    runs.  Execution belongs to the {!Executor}. *)
 
 exception Unsupported of string
 (** No backend (or the named backend) can answer the query. *)
@@ -17,11 +20,12 @@ val backends : (string * (module Backend.S)) list
 val backend_of_name : string -> (module Backend.S) option
 (** Case-insensitive lookup in {!backends}. *)
 
-val plan : Query.t -> (module Backend.S)
-(** The backend {!eval} would use.  Raises {!Unsupported} (or
-    [Invalid_argument] on a malformed query). *)
+val plan : ?backend:string -> Query.t -> Plan.t
+(** Compile the query: validate, resolve the accuracy demand to a
+    concrete route (or force the named [backend]), intern the
+    scenario, and key the result.  Raises {!Unsupported} when no
+    backend qualifies — or when the forced one cannot answer — and
+    [Invalid_argument] on a malformed query. *)
 
-val eval : ?pool:Exec.Pool.t -> ?backend:string -> Query.t -> Answer.t
-(** Plan and run.  [backend] forces a specific route by name instead
-    of planning; raises {!Unsupported} if it is unknown or cannot
-    answer the query. *)
+val backend_of_route : Plan.route -> (module Backend.S)
+(** The backend module serving a resolved route. *)

@@ -23,8 +23,10 @@ let check_n n =
   if n < 1 then invalid_arg (Printf.sprintf "Query: n = %d < 1" n)
 
 let check_r r =
-  if not (Float.is_finite r && r > 0.) then
-    invalid_arg (Printf.sprintf "Query: r = %g not positive and finite" r)
+  (* r = 0 is the paper's boundary case C_n(0) = n c + q E (pi_i = 1 for
+     every i); every deterministic route below accepts it *)
+  if not (Float.is_finite r && r >= 0.) then
+    invalid_arg (Printf.sprintf "Query: r = %g not non-negative and finite" r)
 
 let validate t =
   (match t.domain with

@@ -54,7 +54,8 @@ val r_sweep :
 
 val validate : t -> unit
 (** Raises [Invalid_argument] unless every probe count is at least 1,
-    every listening period is positive and finite, sweeps are
+    every listening period is non-negative and finite ([r = 0] is the
+    paper's boundary case, where [C_n(0) = n c + q E]), sweeps are
     non-empty, and [Sampled] demands at least one trial.  The smart
     constructors above call this. *)
 

@@ -5,15 +5,21 @@ let enumerate ?(n_max = 12) ?(r_points = 200) ?(r_max = 8.)
   if n_max < 1 then invalid_arg "Tradeoff.enumerate: n_max < 1";
   let grid = Numerics.Grid.linspace (r_max /. float_of_int r_points) r_max r_points in
   let ns = Array.init n_max (fun i -> i + 1) in
-  (* one pair of n-sweep queries per r-column; the kernel backend
-     streams one forward cursor per query (the second hits the first's
-     survival memo), so the columns match the historical single-cursor
-     enumeration bit for bit, in the same n-major layout *)
+  (* one pair of n-sweep queries per r-column, all submitted as a
+     single batch: the kernel backend merges each column's cost and
+     error sweeps onto ONE forward cursor (cursor state is independent
+     of where reads happen), so the columns match the historical
+     single-cursor enumeration bit for bit, in the same n-major
+     layout *)
+  let cost_qs = Array.map (fun r -> Query.n_sweep Query.Mean_cost p ~ns ~r) grid in
+  let err_qs =
+    Array.map (fun r -> Query.n_sweep Query.Log10_error p ~ns ~r) grid
+  in
+  let answers = Executor.eval_batch (Array.append cost_qs err_qs) in
   let columns =
-    Array.map
-      (fun r ->
-        let costs = Planner.eval (Query.n_sweep Query.Mean_cost p ~ns ~r) in
-        let errors = Planner.eval (Query.n_sweep Query.Log10_error p ~ns ~r) in
+    Array.mapi
+      (fun j _r ->
+        let costs = answers.(j) and errors = answers.(j + Array.length grid) in
         Array.init n_max (fun i ->
             ( Answer.scalar costs.Answer.points.(i),
               Answer.scalar errors.Answer.points.(i) )))

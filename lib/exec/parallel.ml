@@ -30,6 +30,31 @@ let map_sweep ?pool f xs =
       let x = xs.(i) in
       (x, f x))
 
+let map_groups ?pool f groups =
+  (* flatten into one index space so chunking balances across groups of
+     uneven size, then scatter back; results land by index, so output
+     is bit-identical to the serial nested map at every job count *)
+  let total = Array.fold_left (fun acc g -> acc + Array.length g) 0 groups in
+  let flat_in = Array.make total None in
+  let slot = ref 0 in
+  Array.iter
+    (Array.iter (fun x ->
+         flat_in.(!slot) <- Some x;
+         incr slot))
+    groups;
+  let flat_out =
+    init ?pool total (fun i ->
+        match flat_in.(i) with Some x -> f x | None -> assert false)
+  in
+  let slot = ref 0 in
+  Array.map
+    (fun g ->
+      Array.init (Array.length g) (fun _ ->
+          let y = flat_out.(!slot) in
+          incr slot;
+          y))
+    groups
+
 let iter_chunks ?pool f xs =
   let pool = resolve pool in
   let n = Array.length xs in

@@ -24,6 +24,14 @@ val map_sweep : ?pool:Pool.t -> (float -> 'a) -> float array -> (float * 'a) arr
 (** Parallel variant of {!Numerics.Grid.map_sweep}: evaluate [f] over a
     grid, pairing each abscissa with its value. *)
 
+val map_groups : ?pool:Pool.t -> ('a -> 'b) -> 'a array array -> 'b array array
+(** Batch scheduler: map [f] over every element of every group,
+    preserving the group structure.  Groups are flattened into one
+    index space before chunking, so a batch of many small sweeps
+    load-balances as well as one large sweep; each result is written
+    back to its own slot, so the output is bit-identical to the serial
+    nested map at every job count. *)
+
 val iter_chunks : ?pool:Pool.t -> ('a array -> unit) -> 'a array -> unit
 (** Run [f] on each contiguous chunk of the input, in parallel.  For
     side-effecting consumers (accumulation into per-chunk state);

@@ -6,7 +6,7 @@
 module Q = Engine.Query
 module A = Engine.Answer
 
-let eval ?backend q = Engine.Planner.eval ?backend q
+let eval ?backend q = Engine.Executor.eval ?backend q
 let value ?backend q = A.scalar (eval ?backend q).A.points.(0)
 
 let grid_points = [ (1, 0.5); (2, 1.); (4, 2.); (6, 1.3); (8, 0.7) ]
@@ -125,9 +125,7 @@ let test_mc_within_ci () =
 (* ------------------------------------------------------------------ *)
 (* Planner routing and provenance                                      *)
 
-let planned q =
-  let (module B : Engine.Backend.S) = Engine.Planner.plan q in
-  B.name
+let planned q = Engine.Plan.route_name (Engine.Planner.plan q).Engine.Plan.route
 
 let test_planner_routing () =
   let p = Zeroconf.Params.figure2 in
@@ -181,14 +179,48 @@ let test_validation () =
         | exception Invalid_argument _ -> true
         | _ -> false))
     [ (fun () -> ignore (Q.point Q.Mean_cost p ~n:0 ~r:2.));
-      (fun () -> ignore (Q.point Q.Mean_cost p ~n:4 ~r:0.));
+      (fun () -> ignore (Q.point Q.Mean_cost p ~n:4 ~r:(-1.)));
       (fun () -> ignore (Q.point Q.Mean_cost p ~n:4 ~r:Float.nan));
+      (fun () -> ignore (Q.point Q.Mean_cost p ~n:4 ~r:Float.infinity));
       (fun () -> ignore (Q.n_sweep Q.Mean_cost p ~ns:[||] ~r:1.));
       (fun () -> ignore (Q.r_sweep Q.Mean_cost p ~n:4 ~rs:[||]));
       (fun () ->
         ignore
           (Q.point ~accuracy:(Q.Sampled { trials = 0; seed = 1 }) Q.Mean_cost p
              ~n:4 ~r:2.)) ]
+
+(* the paper's r = 0 boundary: every pi_i is 1, so C_n(0) = n c + q E;
+   with free probes (c = 0) the mean cost collapses to exactly q E *)
+let test_r_zero_boundary () =
+  let p = Zeroconf.Params.figure2 in
+  let free_probes = Zeroconf.Params.with_costs ~probe_cost:0. p in
+  List.iter
+    (fun n ->
+      let q = Q.point Q.Mean_cost free_probes ~n ~r:0. in
+      let expected = free_probes.Zeroconf.Params.q *. free_probes.Zeroconf.Params.error_cost in
+      List.iter
+        (fun backend ->
+          let v = value ~backend q in
+          if not (same_bits v expected) then
+            Alcotest.failf "%s: C_%d(0) = %h, expected q E = %h" backend n v
+              expected)
+        [ "analytic"; "kernel" ])
+    [ 1; 4; 8 ];
+  (* with postage, the boundary value is n c + q E (to rounding) *)
+  let n = 4 in
+  let v = value (Q.point Q.Mean_cost p ~n ~r:0.) in
+  let expected =
+    (float_of_int n *. p.Zeroconf.Params.probe_cost)
+    +. (p.Zeroconf.Params.q *. p.Zeroconf.Params.error_cost)
+  in
+  Alcotest.(check bool)
+    "C_4(0) = 4c + qE to 1e-12 relative" true
+    (Engine.Crosscheck.rel_divergence v expected <= 1e-12);
+  (* the error probability at r = 0 is the paper's q / (1 - q (1 - 1))
+     = q: no probe ever helps *)
+  let e = value (Q.point Q.Error_probability p ~n ~r:0.) in
+  Alcotest.(check bool) "E(4, 0) = q" true
+    (same_bits e p.Zeroconf.Params.q)
 
 (* the acceptance-criteria crosscheck, as a regression test *)
 let test_crosscheck_acceptance () =
@@ -222,4 +254,6 @@ let () =
       ( "planner",
         [ Alcotest.test_case "routing" `Quick test_planner_routing;
           Alcotest.test_case "provenance" `Quick test_provenance;
-          Alcotest.test_case "query validation" `Quick test_validation ] ) ]
+          Alcotest.test_case "query validation" `Quick test_validation;
+          Alcotest.test_case "r = 0 boundary (C_n(0) = n c + q E)" `Quick
+            test_r_zero_boundary ] ) ]

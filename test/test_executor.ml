@@ -1,0 +1,228 @@
+(* The execute stage's contract: batched evaluation is a pure
+   amortization — for ANY mix of queries, [Executor.eval_batch] must
+   return bitwise the same points as evaluating each query alone, at
+   any pool size, cache on or off.  This is the invariant that lets the
+   figure drivers and the CLI batch subcommand share kernel cursors and
+   DTMC matrix builds without anyone auditing the numerics again.
+
+   The property below drives that with qcheck: random scenarios, all
+   five quantities, all three domain shapes, exact and sampled
+   accuracies, batch sizes 1-10, compared across jobs 1 and 8. *)
+
+module Q = Engine.Query
+module A = Engine.Answer
+
+let bits = Int64.bits_of_float
+
+let value_eq (a : A.value) (b : A.value) =
+  match (a, b) with
+  | A.Scalar x, A.Scalar y -> bits x = bits y
+  | A.Interval i, A.Interval j ->
+      bits i.mean = bits j.mean
+      && bits i.ci_lo = bits j.ci_lo
+      && bits i.ci_hi = bits j.ci_hi
+  | _ -> false
+
+let points_eq (a : A.t) (b : A.t) =
+  Array.length a.A.points = Array.length b.A.points
+  && Array.for_all2
+       (fun (p : A.point) (q : A.point) ->
+         p.A.n = q.A.n && bits p.A.r = bits q.A.r && value_eq p.A.value q.A.value)
+       a.A.points b.A.points
+
+(* -- random query mixes -------------------------------------------- *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* loss = float_range 0. 0.4 in
+    let* rate = float_range 0.5 20. in
+    let* delay = float_range 0. 1.5 in
+    (* q stays moderate: the netsim route materializes q·2^16 occupied
+       addresses per trial, so crowded scenarios price every sampled
+       query at seconds, not microseconds *)
+    let* q = float_range 0.01 0.3 in
+    let* c = float_range 0. 5. in
+    let* e = float_range 1. 1e4 in
+    return
+      (Zeroconf.Params.v ~name:"prop"
+         ~delay:
+           (Dist.Families.shifted_exponential ~mass:(1. -. loss) ~rate ~delay
+              ())
+         ~q ~probe_cost:c ~error_cost:e))
+
+(* a handful of scenarios per mix, so batches mingle queries that share
+   a scenario (exercising cursor/matrix sharing) with ones that don't *)
+let scenarios_gen = QCheck.Gen.(array_size (int_range 1 3) scenario_gen)
+
+let domain_gen =
+  QCheck.Gen.(
+    let* shape = int_range 0 2 in
+    match shape with
+    | 0 ->
+        let* n = int_range 1 10 in
+        let* r = float_range 0. 4. in
+        return (Q.Point { n; r })
+    | 1 ->
+        let* len = int_range 1 5 in
+        let* lo = int_range 1 6 in
+        let* r = float_range 0. 4. in
+        return (Q.N_sweep { ns = Array.init len (fun i -> lo + i); r })
+    | _ ->
+        let* n = int_range 1 10 in
+        let* len = int_range 1 5 in
+        let* lo = float_range 0. 2. in
+        let* step = float_range 0.1 1. in
+        return
+          (Q.R_sweep
+             { n; rs = Array.init len (fun i -> lo +. (float_of_int i *. step)) }))
+
+let query_gen scenarios =
+  QCheck.Gen.(
+    let* scenario = oneofl (Array.to_list scenarios) in
+    let* domain = domain_gen in
+    let* pick = int_range 0 9 in
+    (* weight the deterministic quantities; fold in sampled (Monte
+       Carlo) and DRM-only (Cost_variance) mixes at lower rates *)
+    let* quantity, accuracy =
+      match pick with
+      | 0 | 1 | 2 -> return (Q.Mean_cost, Q.Exact)
+      | 3 | 4 -> return (Q.Error_probability, Q.Exact)
+      | 5 -> return (Q.Log10_error, Q.Exact)
+      | 6 -> return (Q.Mean_cost, Q.Within 1e-9)
+      | 7 -> return (Q.Cost_variance, Q.Exact)
+      | 8 -> return (Q.Latency_mean, Q.Exact)
+      | _ ->
+          let* trials = int_range 10 40 in
+          let* seed = int_range 0 10_000 in
+          let* mc_q = oneofl [ Q.Mean_cost; Q.Error_probability ] in
+          return (mc_q, Q.Sampled { trials; seed })
+    in
+    return { Q.quantity; scenario; domain; accuracy })
+
+let mix_gen =
+  QCheck.Gen.(
+    let* scenarios = scenarios_gen in
+    array_size (int_range 1 10) (query_gen scenarios))
+
+let mix_arbitrary =
+  QCheck.make
+    ~print:(fun qs ->
+      String.concat "; "
+        (Array.to_list (Array.map (Format.asprintf "%a" Q.pp) qs)))
+    mix_gen
+
+(* -- the property --------------------------------------------------- *)
+
+let pool8 = lazy (Exec.Pool.create 8)
+
+let with_cache_disabled f =
+  Engine.Cache.set_enabled false;
+  Fun.protect ~finally:(fun () -> Engine.Cache.set_enabled true) f
+
+let check_same ~what reference answers =
+  if Array.length reference <> Array.length answers then
+    QCheck.Test.fail_reportf "%s: answer count mismatch" what;
+  Array.iteri
+    (fun i r ->
+      if not (points_eq r answers.(i)) then
+        QCheck.Test.fail_reportf "%s: answer %d differs bitwise:@.%a@.vs@.%a"
+          what i A.pp r A.pp answers.(i))
+    reference;
+  true
+
+let prop_batch_equals_scalar =
+  QCheck.Test.make ~name:"eval_batch = map eval, bitwise, any jobs/cache"
+    ~count:40 mix_arbitrary
+    (fun queries ->
+      (* reference: each query evaluated alone, no cache in play *)
+      let reference =
+        with_cache_disabled (fun () -> Array.map Engine.Executor.eval queries)
+      in
+      let batch_off jobs_pool =
+        with_cache_disabled (fun () ->
+            Engine.Executor.eval_batch ?pool:jobs_pool queries)
+      in
+      let batch_on jobs_pool =
+        Engine.Executor.eval_batch ?pool:jobs_pool
+          ~cache:(Engine.Cache.create ()) queries
+      in
+      ignore (check_same ~what:"jobs=1 cache=off" reference (batch_off None));
+      ignore (check_same ~what:"jobs=1 cache=on" reference (batch_on None));
+      let p8 = Some (Lazy.force pool8) in
+      ignore (check_same ~what:"jobs=8 cache=off" reference (batch_off p8));
+      ignore (check_same ~what:"jobs=8 cache=on" reference (batch_on p8));
+      (* warm cache: second run serves every answer from the cache,
+         points still bitwise identical *)
+      let cache = Engine.Cache.create () in
+      let cold = Engine.Executor.eval_batch ~cache queries in
+      let warm = Engine.Executor.eval_batch ~cache queries in
+      ignore (check_same ~what:"cold vs reference" reference cold);
+      ignore (check_same ~what:"warm vs reference" reference warm);
+      Array.iter
+        (fun (a : A.t) ->
+          if not a.A.cached then
+            QCheck.Test.fail_report
+              "warm batch returned an answer not marked cached")
+        warm;
+      true)
+
+(* -- deterministic corners the generator may under-sample ----------- *)
+
+let fig2 = List.assoc "figure2" Zeroconf.Params.presets
+
+let test_duplicate_plans_in_one_batch () =
+  (* the same query twice in one batch: both answers must carry the
+     full value; the second may not be silently elided *)
+  let q = Q.n_sweep Q.Mean_cost fig2 ~ns:[| 1; 2; 3; 4 |] ~r:2. in
+  let answers =
+    with_cache_disabled (fun () -> Engine.Executor.eval_batch [| q; q |])
+  in
+  Alcotest.(check int) "two answers" 2 (Array.length answers);
+  Alcotest.(check bool) "identical points" true (points_eq answers.(0) answers.(1))
+
+let test_within_batch_duplicates_hit_cache () =
+  (* with a cache active, key-duplicates inside one batch evaluate
+     once; the follower replays the stored answer as a counted hit *)
+  let q = Q.r_sweep Q.Mean_cost fig2 ~n:3 ~rs:[| 0.5; 1.; 2. |] in
+  let cache = Engine.Cache.create () in
+  let answers = Engine.Executor.eval_batch ~cache [| q; q; q |] in
+  Alcotest.(check bool) "first is the evaluation" false answers.(0).A.cached;
+  Alcotest.(check bool) "second is a replay" true answers.(1).A.cached;
+  Alcotest.(check bool) "third is a replay" true answers.(2).A.cached;
+  Alcotest.(check bool) "replays are bitwise identical" true
+    (points_eq answers.(0) answers.(1) && points_eq answers.(0) answers.(2));
+  let stats = Engine.Cache.stats cache in
+  Alcotest.(check int) "two hits counted" 2 stats.Engine.Cache.hits;
+  Alcotest.(check int) "one miss counted" 1 stats.Engine.Cache.misses
+
+let test_cache_keys_keep_routes_apart () =
+  let q = Q.point Q.Mean_cost fig2 ~n:4 ~r:2. in
+  let cache = Engine.Cache.create () in
+  let a = Engine.Executor.eval ~cache ~backend:"kernel" q in
+  let b = Engine.Executor.eval ~cache ~backend:"dtmc" q in
+  Alcotest.(check string) "first ran on kernel" "kernel" a.A.backend;
+  Alcotest.(check string)
+    "forcing dtmc is not served the kernel's cache entry" "dtmc" b.A.backend;
+  Alcotest.(check bool) "dtmc answer is a miss" false b.A.cached
+
+let test_singleton_batch_matches_scalar_provenance () =
+  let q = Q.n_sweep Q.Mean_cost fig2 ~ns:[| 1; 2; 3; 4 |] ~r:2. in
+  let scalar = with_cache_disabled (fun () -> Engine.Executor.eval q) in
+  let batch =
+    with_cache_disabled (fun () -> Engine.Executor.eval_batch [| q |])
+  in
+  Alcotest.(check string) "backend" scalar.A.backend batch.(0).A.backend;
+  Alcotest.(check int) "evals" scalar.A.evals batch.(0).A.evals
+
+let () =
+  Alcotest.run "executor"
+    [ ( "batch equivalence",
+        [ QCheck_alcotest.to_alcotest prop_batch_equals_scalar;
+          Alcotest.test_case "duplicate plans in one batch" `Quick
+            test_duplicate_plans_in_one_batch;
+          Alcotest.test_case "within-batch duplicates hit the cache" `Quick
+            test_within_batch_duplicates_hit_cache;
+          Alcotest.test_case "cache keys keep routes apart" `Quick
+            test_cache_keys_keep_routes_apart;
+          Alcotest.test_case "singleton batch = scalar provenance" `Quick
+            test_singleton_batch_matches_scalar_provenance ] ) ]

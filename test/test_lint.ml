@@ -35,6 +35,21 @@ let r1_scoped () =
   check_hits "non-probability modules are out of R1 scope"
     ~path:"lib/numerics/integrate.ml" ~source:"let f x = log x /. exp x\n" []
 
+let r1_engine_pipeline () =
+  (* the engine's plan/executor/cache joined the probability path when
+     the pipeline split landed; raw primitives there must be flagged *)
+  List.iter
+    (fun path ->
+      check_hits
+        (path ^ " is in R1 scope")
+        ~path ~source:"let f x = exp x /. 2.\n"
+        [ ("R1", 1, "exp"); ("R1", 1, "/.") ])
+    [ "lib/engine/plan.ml"; "lib/engine/executor.ml"; "lib/engine/cache.ml" ];
+  (* backends.ml stays out of scope: it only forwards values computed
+     inside lib/core *)
+  check_hits "lib/engine/backends.ml is out of R1 scope"
+    ~path:"lib/engine/backends.ml" ~source:"let f x = exp x\n" []
+
 (* -- R2: determinism ----------------------------------------------- *)
 
 let r2_seeded () =
@@ -53,6 +68,29 @@ let r2_scoped () =
     ~source:"let t () = Unix.gettimeofday ()\n" [];
   check_hits "Numerics.Rng is the sanctioned RNG" ~path:"lib/netsim/multi.ml"
     ~source:"let draw rng = Numerics.Rng.float rng\n" []
+
+let r2_cache_timestamps () =
+  (* the cache's insertion timestamps DO trip the wall-clock rule — the
+     shipped allow.sexp carries the one reviewed waiver, so the rule
+     stays loud for any new clock read in the file *)
+  check_hits "cache timestamps are caught by R2, waiver lives in allow.sexp"
+    ~path:"lib/engine/cache.ml"
+    ~source:"let stamp () = Unix.gettimeofday ()\n"
+    [ ("R2", 1, "Unix.gettimeofday") ];
+  let entries = Allowlist.of_string
+      "((rule R2) (file lib/engine/cache.ml) (ident Unix.gettimeofday)\n\
+      \ (why \"insertion timestamps, observability only\"))\n"
+  in
+  Alcotest.(check bool)
+    "the waiver permits exactly that finding" true
+    (Allowlist.permits entries
+       (Finding.v ~rule:"R2" ~file:"lib/engine/cache.ml" ~line:1 ~col:0
+          ~ident:"Unix.gettimeofday" ~message:"" ~hint:""));
+  Alcotest.(check bool)
+    "the waiver does not leak to other engine files" false
+    (Allowlist.permits entries
+       (Finding.v ~rule:"R2" ~file:"lib/engine/executor.ml" ~line:1 ~col:0
+          ~ident:"Unix.gettimeofday" ~message:"" ~hint:""))
 
 (* -- R3: concurrency containment ----------------------------------- *)
 
@@ -180,8 +218,11 @@ let () =
     [ ( "rules",
         [ Alcotest.test_case "R1 seeded" `Quick r1_seeded;
           Alcotest.test_case "R1 scoping" `Quick r1_scoped;
+          Alcotest.test_case "R1 engine pipeline scope" `Quick
+            r1_engine_pipeline;
           Alcotest.test_case "R2 seeded" `Quick r2_seeded;
           Alcotest.test_case "R2 scoping" `Quick r2_scoped;
+          Alcotest.test_case "R2 cache timestamps" `Quick r2_cache_timestamps;
           Alcotest.test_case "R3 seeded" `Quick r3_seeded;
           Alcotest.test_case "R3 scoping" `Quick r3_scoped;
           Alcotest.test_case "R4 seeded" `Quick r4_seeded;

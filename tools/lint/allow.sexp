@@ -18,3 +18,9 @@
  (why "wall-clock provenance stamp (wall_ns) on query answers; never \
        feeds a numeric result, only the Answer provenance record that \
        crosscheck reports display"))
+
+((rule R2) (file lib/engine/cache.ml) (ident Unix.gettimeofday)
+ (why "insertion timestamp (stored_since observability in Cache.stats); \
+       cache hits are keyed on the structural plan key alone, so the \
+       clock can never select or alter an answer — determinism is \
+       untouched"))

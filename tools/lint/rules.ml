@@ -54,7 +54,13 @@ let probability_modules =
     "lib/core/optimize.ml";
     "lib/core/attempts.ml";
     "lib/core/reliability.ml";
-    "lib/core/rare.ml" ]
+    "lib/core/rare.ml";
+    (* the engine pipeline: plans fingerprint survival values, the
+       executor routes Eq. 3/4 answers, the cache indexes them — none
+       may re-derive probabilities with raw primitives *)
+    "lib/engine/plan.ml";
+    "lib/engine/executor.ml";
+    "lib/engine/cache.ml" ]
 
 let is_probability_module path = List.mem path probability_modules
 
